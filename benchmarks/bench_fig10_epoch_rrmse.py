@@ -1,0 +1,34 @@
+"""Figure 10: percent RRMSE per epoch, Deterministic vs Unbiased Space Saving."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig10_deterministic_vs_unbiased_by_epoch(benchmark, run_once):
+    experiment = get_experiment(
+        "fig10_deterministic_vs_unbiased",
+        num_items=2_000,
+        target_total=150_000,
+        shape=0.3,
+        capacity=200,
+        num_epochs=10,
+        num_trials=8,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    print_experiment(
+        "Figure 10 — percent RRMSE per epoch (sorted stream)",
+        series=result,
+    )
+    deterministic = result["deterministic_pct_rrmse"]
+    unbiased = result["unbiased_pct_rrmse"]
+    # Deterministic Space Saving answers 0 for every early epoch (100% error).
+    assert all(value >= 99.0 for value in deterministic[:5])
+    # Unbiased Space Saving is clearly better on the late, large epochs — the
+    # paper reports a ~50x gap at full scale; at reduced scale we require a
+    # clear win on both of the last two epochs and on their combined error.
+    assert unbiased[-1] < deterministic[-1]
+    assert unbiased[-2] < deterministic[-2]
+    assert unbiased[-1] + unbiased[-2] < (deterministic[-1] + deterministic[-2]) / 2.0

@@ -1,0 +1,28 @@
+"""Figure 1: bin-mass profiles of the Misra-Gries merge vs the unbiased merge."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig1_merge_profile(benchmark, run_once):
+    experiment = get_experiment(
+        "fig1_merge_profile",
+        num_items_per_half=400,
+        target_total_per_half=30_000,
+        capacity=100,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    print_experiment(
+        "Figure 1 — merge profiles (sorted bin counts)",
+        summary=summary,
+        rows=result.rows(),
+        max_rows=15,
+    )
+    # The unbiased merge preserves the combined mass; the Misra-Gries merge
+    # truncates it (the paper's figure 1 message).
+    assert summary["unbiased_total"] >= 0.9 * summary["combined_total"]
+    assert summary["misra_gries_total"] < summary["combined_total"]

@@ -1,0 +1,30 @@
+"""Figure 2: empirical inclusion probabilities vs theoretical PPS probabilities."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig2_inclusion_probabilities(benchmark, run_once):
+    experiment = get_experiment(
+        "fig2_inclusion_probabilities",
+        num_items=1_000,
+        shape=0.15,
+        target_total=100_000,
+        capacity=100,
+        num_trials=15,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    # Show the interesting transition region (items near the frequent/
+    # infrequent boundary, i.e. the last ~120 items by index).
+    rows = result.rows()[-120::10]
+    print_experiment(
+        "Figure 2 — inclusion probabilities (Unbiased Space Saving vs PPS)",
+        summary=summary,
+        rows=rows,
+    )
+    assert summary["correlation"] > 0.9
+    assert summary["mean_abs_deviation"] < 0.12

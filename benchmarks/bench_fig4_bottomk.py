@@ -1,0 +1,32 @@
+"""Figure 4: as figure 3 with 100 bins, adding the bottom-k uniform baseline."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig4_relative_error_100_bins_with_bottom_k(benchmark, run_once):
+    experiment = get_experiment(
+        "fig4_relative_error_100",
+        subset_size=100,
+        num_subsets=25,
+        num_trials=4,
+        target_total=100_000,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    print_experiment(
+        "Figure 4 — relative error vs true count (m=100, with bottom-k)",
+        summary=summary,
+        rows=result.rows(),
+        max_rows=60,
+    )
+    # Uniform item sampling (bottom-k) is far worse than the sketch on the
+    # skewed distributions — the paper reports orders of magnitude.
+    for name in ("weibull_0.32", "weibull_0.15"):
+        assert (
+            summary[f"{name}/bottom_k"]
+            > 2.0 * summary[f"{name}/unbiased_space_saving"]
+        )

@@ -1,0 +1,37 @@
+"""Figure 5: per-subset relative MSE, Unbiased Space Saving vs priority sampling."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import format_summary, print_experiment
+
+
+def test_fig5_unbiased_vs_priority_sampling(benchmark, run_once):
+    experiment = get_experiment(
+        "fig5_vs_priority",
+        shape=0.15,
+        num_items=1_000,
+        target_total=100_000,
+        capacity=100,
+        subset_size=100,
+        num_subsets=30,
+        num_trials=8,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    print_experiment(
+        "Figure 5 — per-subset relative MSE scatter and relative efficiency",
+        summary=summary,
+        rows=result.rows(),
+        max_rows=30,
+    )
+    print(format_summary({f"efficiency_q{q}": v for q, v in result.efficiency_quantiles.items()}))
+    # The paper reports the sketch matching or slightly beating priority
+    # sampling at full scale (10⁹ rows).  At this reduced scale we require
+    # the two methods to be in the same accuracy regime: the sketch's MSE is
+    # within a small constant factor of priority sampling's on the median
+    # subset, and it wins outright on a non-trivial fraction of subsets.
+    # EXPERIMENTS.md records the measured gap.
+    assert summary["fraction_subsets_unbiased_wins_or_ties"] >= 0.2
+    assert summary["median_relative_efficiency"] >= 0.4

@@ -1,0 +1,36 @@
+"""Figure 6: 1-way and 2-way marginal estimation on the synthetic ad data."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig6_marginal_estimation(benchmark, run_once):
+    experiment = get_experiment(
+        "fig6_marginals",
+        num_rows=60_000,
+        capacity=2_000,
+        one_way_feature=1,
+        two_way_features=(1, 5),
+        min_marginal_size=10.0,
+        num_trials=2,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    print_experiment(
+        "Figure 6 — 1-way and 2-way marginals (synthetic Criteo-like data)",
+        summary=summary,
+        rows=result.rows(),
+    )
+    # The sketch, built on disaggregated rows, should land in the same error
+    # regime as priority sampling on pre-aggregated tuple counts.
+    assert (
+        summary["one_way/unbiased_space_saving"]
+        <= 2.5 * summary["one_way/priority_sampling"] + 0.05
+    )
+    assert (
+        summary["two_way/unbiased_space_saving"]
+        <= 2.5 * summary["two_way/priority_sampling"] + 0.05
+    )

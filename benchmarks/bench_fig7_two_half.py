@@ -1,0 +1,36 @@
+"""Figure 7: the two-half pathological stream, Deterministic vs Unbiased."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import get_experiment
+from repro.evaluation.reporting import print_experiment
+
+
+def test_fig7_two_half_pathological_stream(benchmark, run_once):
+    experiment = get_experiment(
+        "fig7_pathological_two_half",
+        num_items_per_half=500,
+        target_total_per_half=50_000,
+        capacity=100,
+        num_trials=8,
+        subset_size=50,
+        num_subsets=15,
+        seed=0,
+    )
+    result = run_once(benchmark, experiment)
+    summary = result.summary()
+    print_experiment(
+        "Figure 7 — two-half stream: inclusion probabilities and subset RRMSE",
+        summary=summary,
+        rows=result.rows(),
+    )
+    # Deterministic Space Saving forgets first-half items; Unbiased Space
+    # Saving keeps sampling them and has clearly lower error there.
+    assert (
+        summary["unbiased_rrmse_first_half"]
+        < summary["deterministic_rrmse_first_half"]
+    )
+    assert (
+        summary["unbiased_inclusion_first_half"]
+        >= summary["deterministic_inclusion_first_half"]
+    )

@@ -1,0 +1,77 @@
+"""Ablation: merge strategies and reduction methods for distributed sketching.
+
+DESIGN.md calls out two design choices in the distributed layer that deserve
+measurement rather than assertion:
+
+* flat (single k-way) merge vs a pairwise merge tree — each tree level adds
+  its own reduction noise;
+* the reduction family used inside the unbiased merge (fixed-size PPS/VarOpt
+  vs priority sampling).
+
+The benchmark partitions one stream, builds per-partition sketches once, and
+compares the subset-sum error of the merged results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.mapreduce import reduce_sketches, sketch_partitions, tree_merge
+from repro.distributed.partition import round_robin_partition
+from repro.evaluation.reporting import print_experiment
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream, iterate_rows
+
+CAPACITY = 128
+NUM_PARTITIONS = 8
+NUM_TRIALS = 5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = scaled_weibull_counts(num_items=1_000, shape=0.3, target_total=80_000)
+    rows = list(iterate_rows(exchangeable_stream(model, rng=np.random.default_rng(1))))
+    partitions = round_robin_partition(rows, NUM_PARTITIONS)
+    subset = {item for item in model.items() if item % 5 == 0}
+    truth = float(model.subset_total(subset))
+    return partitions, subset, truth
+
+
+def _relative_errors(merge_fn, partitions, subset, truth):
+    errors = []
+    for seed in range(NUM_TRIALS):
+        sketches = sketch_partitions(partitions, CAPACITY, seed=seed)
+        merged = merge_fn(sketches, seed)
+        estimate = merged.subset_sum(lambda item: item in subset)
+        errors.append(abs(estimate - truth) / truth)
+    return errors
+
+
+def test_merge_ablation_flat_vs_tree_and_reducers(benchmark, setup):
+    partitions, subset, truth = setup
+
+    def run():
+        return {
+            "flat_pps": _relative_errors(
+                lambda sketches, seed: reduce_sketches(sketches, method="pps", seed=seed),
+                partitions, subset, truth,
+            ),
+            "flat_priority": _relative_errors(
+                lambda sketches, seed: reduce_sketches(sketches, method="priority", seed=seed),
+                partitions, subset, truth,
+            ),
+            "tree_pps": _relative_errors(
+                lambda sketches, seed: tree_merge(sketches, method="pps", seed=seed),
+                partitions, subset, truth,
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    summary = {name: float(np.mean(errors)) for name, errors in results.items()}
+    print_experiment("Merge ablation — mean relative error of a 20%-of-items subset", summary=summary)
+    # Every strategy should answer the query within a reasonable error at this
+    # scale; the flat merge should not be worse than the tree merge by much.
+    for name, value in summary.items():
+        assert value < 0.5, name
+    assert summary["flat_pps"] <= summary["tree_pps"] * 2.0

@@ -1,0 +1,69 @@
+"""Update throughput micro-benchmarks (§6.7: O(1) updates, O(m) space).
+
+Unlike the figure benchmarks these are true micro-benchmarks: pytest-benchmark
+times repeated rounds of streaming a fixed workload through each sketch so
+their per-row update costs can be compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deterministic_space_saving import DeterministicSpaceSaving
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.frequent.countmin import CountMinSketch
+from repro.frequent.misra_gries import MisraGriesSketch
+from repro.samplehold.adaptive import AdaptiveSampleAndHold
+from repro.sampling.bottom_k import BottomKSketch
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream, iterate_rows
+
+ROWS = 50_000
+CAPACITY = 256
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model = scaled_weibull_counts(num_items=2_000, shape=0.3, target_total=ROWS)
+    return list(iterate_rows(exchangeable_stream(model, rng=np.random.default_rng(0))))
+
+
+def _ingest(sketch_factory, rows):
+    sketch = sketch_factory()
+    update = sketch.update
+    for row in rows:
+        update(row)
+    return sketch
+
+
+def test_throughput_unbiased_space_saving(benchmark, workload):
+    sketch = benchmark(_ingest, lambda: UnbiasedSpaceSaving(CAPACITY, seed=0), workload)
+    assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_deterministic_space_saving(benchmark, workload):
+    sketch = benchmark(_ingest, lambda: DeterministicSpaceSaving(CAPACITY, seed=0), workload)
+    assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_misra_gries(benchmark, workload):
+    sketch = benchmark(_ingest, lambda: MisraGriesSketch(CAPACITY), workload)
+    assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_adaptive_sample_and_hold(benchmark, workload):
+    sketch = benchmark(_ingest, lambda: AdaptiveSampleAndHold(CAPACITY, seed=0), workload)
+    assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_bottom_k(benchmark, workload):
+    sketch = benchmark(_ingest, lambda: BottomKSketch(CAPACITY, seed=0), workload)
+    assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_countmin(benchmark, workload):
+    sketch = benchmark(
+        _ingest, lambda: CountMinSketch(width=1024, depth=4, seed=0), workload
+    )
+    assert sketch.rows_processed == len(workload)

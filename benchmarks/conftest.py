@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark reproduces one figure of the paper at a reduced scale (see
+DESIGN.md §2 and EXPERIMENTS.md for the scale notes).  The experiments are
+Monte-Carlo studies, not micro-benchmarks, so every figure benchmark runs
+exactly once per session (``rounds=1``) and prints the rows/series the paper
+reports; pytest-benchmark still records the wall-clock time of the full
+experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_once(benchmark, experiment):
+    """Run ``experiment.run()`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(experiment.run, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    """Fixture form of :func:`run_experiment_once`."""
+    return run_experiment_once

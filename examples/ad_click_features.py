@@ -1,0 +1,103 @@
+"""Ad prediction features from a disaggregated impression stream.
+
+Run with::
+
+    python examples/ad_click_features.py
+
+The motivating application of the paper (§3.1, §7): historical click and
+impression counts are powerful features for click-through-rate models, but
+the raw data arrives as one row per impression keyed by a high-cardinality
+feature tuple.  This example:
+
+* streams a synthetic Criteo-like impression log into two Unbiased Space
+  Saving sketches (impressions and clicks),
+* derives smoothed historical CTR features at several aggregation levels
+  (ad, advertiser, advertiser × site section) from the sketches alone, and
+* compares the sketch-derived features against the exact values.
+"""
+
+from __future__ import annotations
+
+from repro import UnbiasedSpaceSaving
+from repro.query.marginals import one_way_marginal, two_way_marginal
+from repro.streams.adclick import AdClickDataset
+
+SMOOTHING_PRIOR_CLICKS = 0.5
+SMOOTHING_PRIOR_IMPRESSIONS = 20.0
+
+
+def smoothed_ctr(clicks: float, impressions: float) -> float:
+    """Beta-smoothed click-through rate, the usual ad-prediction feature."""
+    return (clicks + SMOOTHING_PRIOR_CLICKS) / (
+        impressions + SMOOTHING_PRIOR_IMPRESSIONS
+    )
+
+
+def main() -> None:
+    dataset = AdClickDataset(num_rows=80_000, seed=11)
+    advertiser = dataset.feature_index("advertiser")
+    section = dataset.feature_index("site_section")
+    print(
+        f"dataset: {dataset.num_rows:,} impressions, "
+        f"{dataset.click_count():,} clicks "
+        f"(CTR {dataset.overall_click_rate():.3%})"
+    )
+
+    # One sketch for impressions, one for clicks — both keyed by the full
+    # feature tuple so any marginal can be derived afterwards.
+    impression_sketch = UnbiasedSpaceSaving(capacity=4_000, seed=1)
+    click_sketch = UnbiasedSpaceSaving(capacity=2_000, seed=2)
+    for features, clicked in dataset.labeled_impressions():
+        impression_sketch.update(features)
+        if clicked:
+            click_sketch.update(features)
+
+    # ------------------------------------------------------------------
+    # Advertiser-level CTR features (1-way marginal).
+    # ------------------------------------------------------------------
+    estimated_impressions = one_way_marginal(impression_sketch, advertiser)
+    estimated_clicks = one_way_marginal(click_sketch, advertiser)
+    exact_impressions = dataset.marginal_counts(advertiser)
+    exact_clicks = dataset.click_counts_by_feature(advertiser)
+
+    top_advertisers = sorted(
+        exact_impressions.items(), key=lambda kv: kv[1], reverse=True
+    )[:8]
+    print("\nadvertiser-level CTR feature (top advertisers by impressions):")
+    print(f"{'advertiser':>10} {'impr est':>10} {'impr true':>10} "
+          f"{'ctr est':>9} {'ctr true':>9}")
+    for advertiser_id, true_impressions in top_advertisers:
+        estimate_impressions = estimated_impressions.get(advertiser_id, 0.0)
+        estimate_ctr = smoothed_ctr(
+            estimated_clicks.get(advertiser_id, 0.0), estimate_impressions
+        )
+        true_ctr = smoothed_ctr(
+            exact_clicks.get(advertiser_id, 0), true_impressions
+        )
+        print(
+            f"{advertiser_id:>10} {estimate_impressions:>10,.0f} {true_impressions:>10,} "
+            f"{estimate_ctr:>9.4f} {true_ctr:>9.4f}"
+        )
+
+    # ------------------------------------------------------------------
+    # Advertiser × site-section features (2-way marginal), useful when the
+    # ad itself is too new to have history.
+    # ------------------------------------------------------------------
+    pair_impressions = two_way_marginal(impression_sketch, advertiser, section)
+    exact_pairs = dataset.pairwise_counts(advertiser, section)
+    largest_pairs = sorted(exact_pairs.items(), key=lambda kv: kv[1], reverse=True)[:5]
+    print("\nadvertiser x site-section impression counts (largest cells):")
+    for pair, true_count in largest_pairs:
+        print(
+            f"  {str(pair):>14}: estimate {pair_impressions.get(pair, 0.0):>9,.0f}"
+            f"   truth {true_count:>9,}"
+        )
+
+    total_error = sum(
+        abs(pair_impressions.get(pair, 0.0) - count) for pair, count in largest_pairs
+    ) / sum(count for _, count in largest_pairs)
+    print(f"\nrelative error over the largest 2-way cells: {total_error:.2%}")
+
+
+if __name__ == "__main__":
+    main()

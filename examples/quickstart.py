@@ -1,0 +1,72 @@
+"""Quickstart: sketch a click stream and answer filtered sums with uncertainty.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds an Unbiased Space Saving sketch over a synthetic
+disaggregated click stream (one row per click, many rows per ad), then
+answers the two questions the paper's sketch is designed for:
+
+1. *Disaggregated subset sums* — "how many clicks did ads from advertiser X
+   get?" for arbitrary, after-the-fact filters, with confidence intervals.
+2. *Frequent items* — "which ads are the heavy hitters?"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import UnbiasedSpaceSaving
+from repro.query.engine import SketchQueryEngine
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream, iterate_rows
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Simulate a skewed click stream: 2,000 ads, ~200,000 click rows.
+    # ------------------------------------------------------------------
+    ads = scaled_weibull_counts(num_items=2_000, shape=0.25, target_total=200_000)
+    stream = exchangeable_stream(ads, rng=np.random.default_rng(7))
+    print(f"stream: {ads.total:,} click rows over {ads.num_items:,} ads")
+
+    # ------------------------------------------------------------------
+    # 2. Feed the raw (disaggregated) rows into the sketch.
+    # ------------------------------------------------------------------
+    sketch = UnbiasedSpaceSaving(capacity=500, seed=42)
+    for ad_id in iterate_rows(stream):
+        sketch.update(ad_id)
+    print(f"sketch: {len(sketch)} bins retained, total preserved exactly = "
+          f"{sketch.total_estimate():,.0f}")
+
+    # ------------------------------------------------------------------
+    # 3. Subset sums with confidence intervals for arbitrary filters.
+    # ------------------------------------------------------------------
+    # Pretend ads with id divisible by 7 belong to one advertiser.
+    advertiser_filter = lambda ad_id: ad_id % 7 == 0  # noqa: E731
+    estimate = sketch.subset_sum_with_error(advertiser_filter)
+    truth = ads.subset_sum(advertiser_filter)
+    low, high = estimate.confidence_interval(0.95)
+    print("\nadvertiser clicks (ads with id % 7 == 0)")
+    print(f"  true count      : {truth:,.0f}")
+    print(f"  sketch estimate : {estimate.estimate:,.0f}  (95% CI [{low:,.0f}, {high:,.0f}])")
+
+    # The same query through the SQL-ish engine.
+    engine = SketchQueryEngine(sketch)
+    grouped = engine.select_sum(group_by=lambda ad_id: ad_id % 3).groups
+    print("\nclicks grouped by (ad_id % 3):")
+    for group, value in sorted(grouped.items()):
+        exact = ads.subset_sum(lambda ad_id, g=group: ad_id % 3 == g)
+        print(f"  group {group}: estimate {value:>10,.0f}   truth {exact:>10,.0f}")
+
+    # ------------------------------------------------------------------
+    # 4. Frequent items.
+    # ------------------------------------------------------------------
+    print("\ntop 5 ads by estimated clicks:")
+    for ad_id, count in sketch.top_k(5):
+        print(f"  ad {ad_id:>5}: estimated {count:>10,.0f}   true {ads.count(ad_id):>10,}")
+
+
+if __name__ == "__main__":
+    main()

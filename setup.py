@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs are unavailable) can still do a legacy editable install via
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

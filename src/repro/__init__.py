@@ -1,0 +1,57 @@
+"""Unbiased Space Saving: disaggregated subset sum and frequent item estimation.
+
+A from-scratch reproduction of Daniel Ting, *Data Sketches for Disaggregated
+Subset Sum and Frequent Item Estimation* (SIGMOD 2018).  The package is laid
+out by subsystem:
+
+* :mod:`repro.core` — Unbiased Space Saving, Deterministic Space Saving,
+  merges, variance estimation, time decay and the other §5 extensions.
+* :mod:`repro.frequent` — frequent-item baselines (Misra-Gries, Lossy
+  Counting, Sticky Sampling, CountMin, Count Sketch, hierarchical HH).
+* :mod:`repro.sampling` — sampling substrates (PPS, priority, bottom-k,
+  reservoir, VarOpt, Horvitz-Thompson).
+* :mod:`repro.samplehold` — the Sample-and-Hold family.
+* :mod:`repro.streams` — synthetic workloads, pathological orderings and the
+  Criteo-like ad impression generator.
+* :mod:`repro.query` — subset sums, marginals, filters, SQL-ish engine.
+* :mod:`repro.distributed` — partitioning and simulated map-reduce merging.
+* :mod:`repro.evaluation` — the experiment harness reproducing every figure.
+
+Quickstart
+----------
+>>> from repro import UnbiasedSpaceSaving
+>>> sketch = UnbiasedSpaceSaving(capacity=100, seed=42)
+>>> for click in ["ad1", "ad2", "ad1", "ad3"]:
+...     sketch.update(click)
+>>> sketch.subset_sum(lambda ad: ad in {"ad1", "ad3"})
+3.0
+"""
+
+from repro.core import (
+    AdaptiveUnbiasedSpaceSaving,
+    DeterministicSpaceSaving,
+    EstimateWithError,
+    ForwardDecaySketch,
+    GeneralizedSpaceSaving,
+    SignedUnbiasedSpaceSaving,
+    UnbiasedSpaceSaving,
+    merge_many_unbiased,
+    merge_unbiased,
+)
+from repro.query import SketchQueryEngine, SubsetSumEstimator
+from repro.version import __version__
+
+__all__ = [
+    "AdaptiveUnbiasedSpaceSaving",
+    "DeterministicSpaceSaving",
+    "EstimateWithError",
+    "ForwardDecaySketch",
+    "GeneralizedSpaceSaving",
+    "SignedUnbiasedSpaceSaving",
+    "UnbiasedSpaceSaving",
+    "merge_many_unbiased",
+    "merge_unbiased",
+    "SketchQueryEngine",
+    "SubsetSumEstimator",
+    "__version__",
+]

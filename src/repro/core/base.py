@@ -1,0 +1,387 @@
+"""Sketch interfaces and the shared bin-store abstraction.
+
+The paper's Algorithm 2 observes that every frequent-item sketch in the
+Space Saving / Misra-Gries family can be decomposed into an *exact increment*
+followed by a *reduction* that keeps the number of counters bounded.  The
+classes here capture the pieces those sketches share:
+
+* :class:`BinStore` — the mutable collection of ``(label, count)`` bins with
+  fast minimum lookup.  Two implementations are provided: an integer-only
+  store backed by :class:`~repro.core.stream_summary.StreamSummary` with
+  ``O(1)`` unit updates, and a float-capable store backed by a lazy heap used
+  by weighted updates, merges and time-decayed variants.
+* :class:`FrequentItemSketch` — the abstract interface every frequent-item
+  sketch in this package implements (update, point estimate, heavy hitters).
+* :class:`SubsetSumSketch` — the extension implemented by sketches whose
+  estimates are unbiased and therefore safe to aggregate into subset sums.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro._typing import Item, ItemPredicate
+from repro.core.stream_summary import StreamSummary
+from repro.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    UnsupportedUpdateError,
+)
+
+__all__ = [
+    "BinStore",
+    "StreamSummaryBinStore",
+    "HeapBinStore",
+    "FrequentItemSketch",
+    "SubsetSumSketch",
+]
+
+
+# ----------------------------------------------------------------------
+# Bin stores
+# ----------------------------------------------------------------------
+class BinStore(abc.ABC):
+    """A bounded collection of labeled counters with minimum lookup.
+
+    A bin store does not enforce a capacity itself; the sketches do.  It only
+    provides the primitive operations the reduction step needs.
+    """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of bins currently stored."""
+
+    @abc.abstractmethod
+    def __contains__(self, item: Item) -> bool:
+        """Whether ``item`` currently labels a bin."""
+
+    @abc.abstractmethod
+    def get(self, item: Item, default: float = 0.0) -> float:
+        """Return the count for ``item`` or ``default`` when absent."""
+
+    @abc.abstractmethod
+    def insert(self, item: Item, count: float) -> None:
+        """Add a new bin labeled ``item`` with the given count."""
+
+    @abc.abstractmethod
+    def remove(self, item: Item) -> float:
+        """Remove the bin labeled ``item`` and return its count."""
+
+    @abc.abstractmethod
+    def increment(self, item: Item, by: float) -> float:
+        """Add ``by`` to ``item``'s counter and return the new value."""
+
+    @abc.abstractmethod
+    def relabel(self, old: Item, new: Item) -> None:
+        """Rename the bin labeled ``old`` to ``new`` keeping its count."""
+
+    @abc.abstractmethod
+    def min_label(self) -> Item:
+        """Return the label of a minimum-count bin."""
+
+    @abc.abstractmethod
+    def min_count(self) -> float:
+        """Return the smallest count stored."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[Tuple[Item, float]]:
+        """Iterate over ``(label, count)`` pairs in unspecified order."""
+
+    def counts(self) -> Dict[Item, float]:
+        """Snapshot of all bins as a plain dictionary."""
+        return dict(self.items())
+
+
+class StreamSummaryBinStore(BinStore):
+    """Integer bin store with ``O(1)`` unit updates.
+
+    Thin adapter over :class:`~repro.core.stream_summary.StreamSummary` so
+    the sketches can swap between the integer structure and the float heap
+    without branching in their update logic.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._summary = StreamSummary(rng=rng)
+
+    def __len__(self) -> int:
+        return len(self._summary)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._summary
+
+    def get(self, item: Item, default: float = 0.0) -> float:
+        return float(self._summary.get(item, int(default)))
+
+    def insert(self, item: Item, count: float) -> None:
+        if count != int(count):
+            raise UnsupportedUpdateError(
+                "StreamSummaryBinStore only stores integer counts; "
+                "use HeapBinStore for real-valued counters"
+            )
+        self._summary.insert(item, int(count))
+
+    def remove(self, item: Item) -> float:
+        return float(self._summary.remove(item))
+
+    def increment(self, item: Item, by: float) -> float:
+        if by != int(by):
+            raise UnsupportedUpdateError(
+                "StreamSummaryBinStore only supports integer increments"
+            )
+        return float(self._summary.increment(item, int(by)))
+
+    def relabel(self, old: Item, new: Item) -> None:
+        self._summary.relabel(old, new)
+
+    def min_label(self) -> Item:
+        return self._summary.min_label()
+
+    def min_count(self) -> float:
+        return float(self._summary.min_count())
+
+    def items(self) -> Iterator[Tuple[Item, float]]:
+        for label, count in self._summary.items():
+            yield label, float(count)
+
+    def check_invariants(self) -> None:
+        """Delegate structural invariant checks to the underlying summary."""
+        self._summary.check_invariants()
+
+
+class HeapBinStore(BinStore):
+    """Float-capable bin store using a lazily invalidated min-heap.
+
+    Updates cost ``O(log m)`` amortized.  This is the store used by weighted
+    and real-valued sketches, by merged sketches whose counters are
+    Horvitz-Thompson adjusted, and by the forward-decay variant whose
+    counters grow exponentially.
+    """
+
+    _REMOVED = object()
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._counts: Dict[Item, float] = {}
+        self._heap: List[List[object]] = []
+        self._entries: Dict[Item, List[object]] = {}
+        self._seq = itertools.count()
+        self._rng = rng
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._counts
+
+    def get(self, item: Item, default: float = 0.0) -> float:
+        return self._counts.get(item, default)
+
+    def insert(self, item: Item, count: float) -> None:
+        if item in self._counts:
+            raise InvalidParameterError(f"label {item!r} already present")
+        if count < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        self._counts[item] = float(count)
+        self._push(item, float(count))
+
+    def remove(self, item: Item) -> float:
+        count = self._counts.pop(item)
+        entry = self._entries.pop(item)
+        entry[2] = self._REMOVED
+        return count
+
+    def increment(self, item: Item, by: float) -> float:
+        if by < 0:
+            raise InvalidParameterError("increment must be non-negative")
+        new_count = self._counts[item] + float(by)
+        self._counts[item] = new_count
+        entry = self._entries[item]
+        entry[2] = self._REMOVED
+        self._push(item, new_count)
+        return new_count
+
+    def relabel(self, old: Item, new: Item) -> None:
+        if new in self._counts:
+            raise InvalidParameterError(f"label {new!r} already present")
+        count = self.remove(old)
+        self.insert(new, count)
+
+    def min_label(self) -> Item:
+        entry = self._peek_min()
+        label = entry[2]
+        if self._rng is None:
+            return label
+        # Collect all labels tied at the minimum count for random tie breaks.
+        min_count = entry[0]
+        tied = [item for item, count in self._counts.items() if count == min_count]
+        if len(tied) == 1:
+            return tied[0]
+        return self._rng.choice(tied)
+
+    def min_count(self) -> float:
+        return float(self._peek_min()[0])
+
+    def items(self) -> Iterator[Tuple[Item, float]]:
+        return iter(self._counts.items())
+
+    def _push(self, item: Item, count: float) -> None:
+        entry: List[object] = [count, next(self._seq), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def _peek_min(self) -> List[object]:
+        while self._heap:
+            entry = self._heap[0]
+            if entry[2] is self._REMOVED:
+                heapq.heappop(self._heap)
+                continue
+            return entry
+        raise EmptySketchError("bin store is empty")
+
+
+# ----------------------------------------------------------------------
+# Sketch interfaces
+# ----------------------------------------------------------------------
+class FrequentItemSketch(abc.ABC):
+    """Interface shared by every frequent-item sketch in this package.
+
+    A sketch consumes a *disaggregated* stream: one call to :meth:`update`
+    per raw row (optionally weighted) rather than per pre-aggregated item.
+    After ingestion it answers point queries (:meth:`estimate`), reports the
+    complete set of retained items (:meth:`estimates`), and extracts heavy
+    hitters above a relative frequency threshold.
+    """
+
+    def __init__(self, capacity: int, *, seed: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("capacity must be a positive integer")
+        self._capacity = int(capacity)
+        self._rng = random.Random(seed)
+        self._rows_processed = 0
+        self._total_weight = 0.0
+
+    # -- configuration -------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of ``(item, count)`` bins the sketch retains."""
+        return self._capacity
+
+    @property
+    def rows_processed(self) -> int:
+        """Number of raw rows (update calls) the sketch has consumed."""
+        return self._rows_processed
+
+    @property
+    def total_weight(self) -> float:
+        """Total weight ingested; equals ``rows_processed`` for unit updates."""
+        return self._total_weight
+
+    # -- ingestion -------------------------------------------------------
+    @abc.abstractmethod
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one raw row for ``item`` with the given ``weight``."""
+
+    def update_stream(
+        self, rows: Iterable[Union[Item, Tuple[Item, float]]]
+    ) -> "FrequentItemSketch":
+        """Consume an iterable of rows.
+
+        Each row may be a bare item (weight 1) or an ``(item, weight)`` pair.
+        Returns ``self`` to allow fluent construction.
+        """
+        for row in rows:
+            if isinstance(row, tuple) and len(row) == 2 and not self._tuple_is_item(row):
+                item, weight = row
+                self.update(item, float(weight))
+            else:
+                self.update(row)
+        return self
+
+    def _tuple_is_item(self, row: Tuple) -> bool:
+        """Heuristic used by :meth:`update_stream` for tuple-keyed streams.
+
+        Streams of composite keys (e.g. ``(user, ad)``) legitimately contain
+        tuples that are *items*, not ``(item, weight)`` pairs.  A pair is
+        treated as weighted only when its second element is a real number
+        and its first element is not.
+        """
+        first, second = row
+        return not (
+            isinstance(second, (int, float)) and not isinstance(first, (int, float))
+        )
+
+    def _record_update(self, weight: float) -> None:
+        """Book-keeping shared by all ``update`` implementations."""
+        self._rows_processed += 1
+        self._total_weight += weight
+
+    # -- queries ---------------------------------------------------------
+    @abc.abstractmethod
+    def estimate(self, item: Item) -> float:
+        """Estimated aggregate weight (count) for ``item``."""
+
+    @abc.abstractmethod
+    def estimates(self) -> Dict[Item, float]:
+        """All retained items with their estimated counts."""
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.estimates()
+
+    def __len__(self) -> int:
+        return len(self.estimates())
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """Return the ``k`` items with the largest estimated counts."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Items whose estimated relative frequency is at least ``phi``.
+
+        Parameters
+        ----------
+        phi:
+            Relative frequency threshold in ``(0, 1]``; an item is reported
+            when its estimated count is at least ``phi * total_weight``.
+        """
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: count
+            for item, count in self.estimates().items()
+            if count >= threshold and count > 0
+        }
+
+    def relative_frequencies(self) -> Dict[Item, float]:
+        """Estimated relative frequency ``N̂_i / t`` for each retained item."""
+        if self._total_weight == 0:
+            return {}
+        return {
+            item: count / self._total_weight for item, count in self.estimates().items()
+        }
+
+
+class SubsetSumSketch(FrequentItemSketch):
+    """A frequent-item sketch whose estimates are safe to sum over subsets.
+
+    Implementations guarantee (or approximate, as documented) that
+    ``E[estimate(i)] == n_i`` for every item ``i``, so summing retained
+    estimates over an arbitrary predicate gives an unbiased estimate of the
+    true subset sum over the disaggregated data.
+    """
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Unbiased estimate of the total weight of items matching ``predicate``."""
+        return float(
+            sum(count for item, count in self.estimates().items() if predicate(item))
+        )
+
+    def subset_count(self, predicate: ItemPredicate) -> int:
+        """Number of retained items matching ``predicate`` (the ``C_S`` of §6.4)."""
+        return sum(1 for item in self.estimates() if predicate(item))

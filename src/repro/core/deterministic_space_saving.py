@@ -1,0 +1,183 @@
+"""Deterministic Space Saving (Metwally, Agrawal and El Abbadi, 2005).
+
+This is the classic frequent-item sketch the paper's contribution modifies:
+maintain ``m`` labeled counters; an arriving item that already labels a bin
+increments that bin, and an arriving item that does not *always* takes over a
+minimum-count bin (replacement probability ``p = 1`` in Algorithm 1).
+
+The sketch offers deterministic guarantees — every counter overestimates the
+true count by at most ``n_tot / m`` — which makes it excellent for frequent
+item identification on i.i.d. data, but its counts are biased upward, and on
+non-i.i.d. (e.g. partially sorted) streams it can fail completely at the
+disaggregated subset sum problem (§6.3 of the paper, reproduced in
+figures 7 and 10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro._typing import Item
+from repro.core.base import (
+    BinStore,
+    FrequentItemSketch,
+    HeapBinStore,
+    StreamSummaryBinStore,
+)
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+
+__all__ = ["DeterministicSpaceSaving"]
+
+
+class DeterministicSpaceSaving(FrequentItemSketch):
+    """The original Space Saving sketch (``p = 1`` label replacement).
+
+    Parameters
+    ----------
+    capacity:
+        Number of bins ``m``.
+    seed:
+        Seed for the tie-breaking generator.  The deterministic sketch only
+        uses randomness to break ties among equal minimum bins, matching the
+        randomized tie-breaking assumed by the paper's analysis.
+    store:
+        ``"stream_summary"`` (integer counters, O(1) unit updates, the
+        default), or ``"heap"`` (float counters, O(log m) updates) when
+        real-valued weights are required.
+
+    Notes
+    -----
+    In addition to the counter, each bin records the *acquisition error*
+    ``ε_i`` — the counter value the bin held when its current label took it
+    over.  ``N̂_i - ε_i`` is a lower bound on the true count, which yields the
+    classic guaranteed heavy-hitter report.
+
+    Example
+    -------
+    >>> sketch = DeterministicSpaceSaving(capacity=2)
+    >>> for item in ["a", "a", "b", "c"]:
+    ...     sketch.update(item)
+    >>> sketch.estimate("a")
+    2.0
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        seed: Optional[int] = None,
+        store: str = "stream_summary",
+    ) -> None:
+        super().__init__(capacity, seed=seed)
+        self._store = self._make_store(store)
+        self._store_kind = store
+        self._acquisition_error: Dict[Item, float] = {}
+
+    def _make_store(self, store: str) -> BinStore:
+        if store == "stream_summary":
+            return StreamSummaryBinStore(rng=self._rng)
+        if store == "heap":
+            return HeapBinStore(rng=self._rng)
+        raise InvalidParameterError(
+            f"unknown store {store!r}; expected 'stream_summary' or 'heap'"
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one raw row.
+
+        ``weight`` must be positive; the stream-summary store additionally
+        requires it to be an integer.  Use ``store="heap"`` for real-valued
+        streams.
+        """
+        if weight <= 0:
+            raise UnsupportedUpdateError(
+                "Deterministic Space Saving requires positive weights"
+            )
+        self._record_update(weight)
+        store = self._store
+        if item in store:
+            store.increment(item, weight)
+            return
+        if len(store) < self._capacity:
+            store.insert(item, weight)
+            self._acquisition_error[item] = 0.0
+            return
+        min_label = store.min_label()
+        min_count = store.get(min_label)
+        store.increment(min_label, weight)
+        store.relabel(min_label, item)
+        del self._acquisition_error[min_label]
+        self._acquisition_error[item] = min_count
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Estimated count; an upper bound on the true count of ``item``."""
+        return self._store.get(item, 0.0)
+
+    def estimates(self) -> Dict[Item, float]:
+        return self._store.counts()
+
+    def acquisition_error(self, item: Item) -> float:
+        """The ``ε_i`` over-count bound for a retained item (0 if absent)."""
+        return self._acquisition_error.get(item, 0.0)
+
+    def lower_bound(self, item: Item) -> float:
+        """Guaranteed lower bound ``N̂_i − ε_i`` on the true count of ``item``."""
+        return max(0.0, self.estimate(item) - self.acquisition_error(item))
+
+    def error_bound(self) -> float:
+        """Deterministic error bound shared by every estimate.
+
+        Every counter overestimates its item's true count by at most the
+        current minimum counter, which itself is at most ``n_tot / m``.
+        """
+        if len(self._store) < self._capacity or len(self._store) == 0:
+            return 0.0
+        return self._store.min_count()
+
+    def guaranteed_heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Items that are *provably* above the ``phi`` relative frequency.
+
+        An item is guaranteed frequent when its lower bound exceeds the
+        threshold ``phi * n_tot``.
+        """
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: count
+            for item, count in self.estimates().items()
+            if count - self.acquisition_error(item) >= threshold
+        }
+
+    def possible_heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Items that *may* be above the threshold (estimate exceeds it)."""
+        return self.heavy_hitters(phi)
+
+    def to_misra_gries_estimates(self) -> Dict[Item, float]:
+        """Convert to the isomorphic Misra-Gries estimates (§5.2).
+
+        The Misra-Gries estimate equals the Space Saving estimate soft
+        thresholded by the minimum counter:
+        ``N̂_i^MG = (N̂_i − N̂_min)_+``.
+        """
+        if len(self._store) == 0:
+            return {}
+        min_count = self._store.min_count() if len(self._store) >= self._capacity else 0.0
+        return {
+            item: max(0.0, count - min_count)
+            for item, count in self.estimates().items()
+        }
+
+    def bins(self) -> List[Tuple[Item, float, float]]:
+        """Return ``(label, count, acquisition_error)`` for every bin."""
+        return [
+            (item, count, self._acquisition_error.get(item, 0.0))
+            for item, count in self._store.items()
+        ]

@@ -1,0 +1,308 @@
+"""Stream-Summary data structure of Metwally, Agrawal and El Abbadi.
+
+The Space Saving family of sketches must repeatedly (a) look up an item's
+counter, (b) increment a counter, (c) find a bin with the minimum count and
+(d) relabel that minimum bin.  The Stream-Summary structure supports all of
+these in worst-case ``O(1)`` time for unit increments by keeping bins grouped
+in *buckets* of equal count, with the buckets arranged in a doubly linked
+list ordered by count.
+
+The structure stores integer counts.  Sketches that need real-valued
+counters (weighted updates, merged sketches with Horvitz-Thompson adjusted
+counts) use the heap-backed store in :mod:`repro.core.base` instead.
+
+Example
+-------
+>>> summary = StreamSummary()
+>>> summary.insert("a", 1)
+>>> summary.insert("b", 3)
+>>> summary.increment("a")
+>>> summary.min_count()
+2
+>>> summary.count("b")
+3
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro._typing import Item
+from repro.errors import InvalidParameterError, SketchStateError
+
+__all__ = ["StreamSummary"]
+
+
+class _Bucket:
+    """A node in the doubly linked bucket list.
+
+    Each bucket holds every bin label whose counter currently equals
+    ``count``.  Labels are kept in a dict used as an ordered set so that
+    membership tests, insertion and removal are all constant time.
+    """
+
+    __slots__ = ("count", "labels", "prev", "next")
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.labels: Dict[Item, None] = {}
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Bucket(count={self.count}, labels={list(self.labels)})"
+
+
+class StreamSummary:
+    """Doubly linked bucket list with a label index.
+
+    Buckets are ordered by strictly increasing count from ``_head`` (minimum)
+    to ``_tail`` (maximum).  An index maps each label to the bucket that
+    currently holds it, so every operation needed by Space Saving runs in
+    amortized constant time for unit increments.
+
+    Parameters
+    ----------
+    rng:
+        Optional :class:`random.Random` used when breaking ties among several
+        minimum-count labels.  When omitted, ties are broken arbitrarily
+        (insertion order), which is what a production implementation would
+        do; the analysis in the paper assumes random tie breaking, so the
+        sketches pass their own generator in.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._index: Dict[Item, _Bucket] = {}
+        self._head: Optional[_Bucket] = None
+        self._tail: Optional[_Bucket] = None
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._index
+
+    def __bool__(self) -> bool:
+        return bool(self._index)
+
+    def count(self, item: Item) -> int:
+        """Return the counter currently associated with ``item``.
+
+        Raises
+        ------
+        KeyError
+            If ``item`` is not a label in the structure.
+        """
+        return self._index[item].count
+
+    def get(self, item: Item, default: int = 0) -> int:
+        """Return ``item``'s counter, or ``default`` if absent."""
+        bucket = self._index.get(item)
+        return default if bucket is None else bucket.count
+
+    def min_count(self) -> int:
+        """Return the smallest counter value currently stored."""
+        if self._head is None:
+            raise SketchStateError("min_count() on an empty StreamSummary")
+        return self._head.count
+
+    def max_count(self) -> int:
+        """Return the largest counter value currently stored."""
+        if self._tail is None:
+            raise SketchStateError("max_count() on an empty StreamSummary")
+        return self._tail.count
+
+    def min_label(self) -> Item:
+        """Return a label having the minimum count.
+
+        Ties are broken with the generator supplied at construction time, or
+        arbitrarily when no generator was given.
+        """
+        if self._head is None:
+            raise SketchStateError("min_label() on an empty StreamSummary")
+        labels = self._head.labels
+        if self._rng is not None and len(labels) > 1:
+            return self._rng.choice(list(labels))
+        return next(iter(labels))
+
+    def min_labels(self) -> List[Item]:
+        """Return every label tied for the minimum count."""
+        if self._head is None:
+            raise SketchStateError("min_labels() on an empty StreamSummary")
+        return list(self._head.labels)
+
+    def items(self) -> Iterator[Tuple[Item, int]]:
+        """Iterate over ``(label, count)`` pairs in ascending count order."""
+        bucket = self._head
+        while bucket is not None:
+            for label in bucket.labels:
+                yield label, bucket.count
+            bucket = bucket.next
+
+    def counts(self) -> Dict[Item, int]:
+        """Return a snapshot dict of all ``label -> count`` pairs."""
+        return {label: count for label, count in self.items()}
+
+    # ------------------------------------------------------------------
+    # Structural updates
+    # ------------------------------------------------------------------
+    def insert(self, item: Item, count: int = 0) -> None:
+        """Add a new label with the given counter value.
+
+        Raises
+        ------
+        InvalidParameterError
+            If ``item`` is already present or ``count`` is negative.
+        """
+        if item in self._index:
+            raise InvalidParameterError(f"label {item!r} already present")
+        if count < 0:
+            raise InvalidParameterError("counts must be non-negative")
+        bucket = self._find_or_create_bucket(count)
+        bucket.labels[item] = None
+        self._index[item] = bucket
+
+    def remove(self, item: Item) -> int:
+        """Remove ``item`` and return the counter it held."""
+        bucket = self._index.pop(item)
+        del bucket.labels[item]
+        count = bucket.count
+        if not bucket.labels:
+            self._unlink(bucket)
+        return count
+
+    def increment(self, item: Item, by: int = 1) -> int:
+        """Increase ``item``'s counter by ``by`` and return the new value.
+
+        Unit increments are worst-case constant time.  Larger increments walk
+        forward through the bucket list and cost time proportional to the
+        number of distinct counter values skipped, which is how the weighted
+        integer update in the sketches uses it.
+        """
+        if by < 0:
+            raise InvalidParameterError("increment must be non-negative")
+        bucket = self._index[item]
+        if by == 0:
+            return bucket.count
+        new_count = bucket.count + by
+        target = self._bucket_at_or_after(bucket, new_count)
+        del bucket.labels[item]
+        target.labels[item] = None
+        self._index[item] = target
+        if not bucket.labels:
+            self._unlink(bucket)
+        return new_count
+
+    def relabel(self, old: Item, new: Item) -> None:
+        """Replace label ``old`` with ``new`` without changing the counter.
+
+        Raises
+        ------
+        KeyError
+            If ``old`` is not present.
+        InvalidParameterError
+            If ``new`` is already a label in the structure.
+        """
+        if new in self._index:
+            raise InvalidParameterError(f"label {new!r} already present")
+        bucket = self._index.pop(old)
+        del bucket.labels[old]
+        bucket.labels[new] = None
+        self._index[new] = bucket
+
+    def increment_min(self, by: int = 1) -> Tuple[Item, int]:
+        """Increment a minimum-count bin and return ``(label, new_count)``."""
+        label = self.min_label()
+        new_count = self.increment(label, by)
+        return label, new_count
+
+    # ------------------------------------------------------------------
+    # Linked-list plumbing
+    # ------------------------------------------------------------------
+    def _find_or_create_bucket(self, count: int) -> _Bucket:
+        """Find the bucket for ``count``, creating and linking it if needed."""
+        bucket = self._head
+        prev: Optional[_Bucket] = None
+        while bucket is not None and bucket.count < count:
+            prev = bucket
+            bucket = bucket.next
+        if bucket is not None and bucket.count == count:
+            return bucket
+        created = _Bucket(count)
+        self._link_after(prev, created)
+        return created
+
+    def _bucket_at_or_after(self, start: _Bucket, count: int) -> _Bucket:
+        """Find or create the bucket for ``count`` scanning forward of ``start``."""
+        prev = start
+        bucket = start.next
+        while bucket is not None and bucket.count < count:
+            prev = bucket
+            bucket = bucket.next
+        if bucket is not None and bucket.count == count:
+            return bucket
+        created = _Bucket(count)
+        self._link_after(prev, created)
+        return created
+
+    def _link_after(self, prev: Optional[_Bucket], bucket: _Bucket) -> None:
+        """Insert ``bucket`` immediately after ``prev`` (or at the head)."""
+        if prev is None:
+            bucket.next = self._head
+            if self._head is not None:
+                self._head.prev = bucket
+            self._head = bucket
+            if self._tail is None:
+                self._tail = bucket
+        else:
+            bucket.next = prev.next
+            bucket.prev = prev
+            if prev.next is not None:
+                prev.next.prev = bucket
+            prev.next = bucket
+            if self._tail is prev:
+                self._tail = bucket
+
+    def _unlink(self, bucket: _Bucket) -> None:
+        """Remove an empty bucket from the linked list."""
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._head = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+        else:
+            self._tail = bucket.prev
+        bucket.prev = None
+        bucket.next = None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises ``AssertionError`` on failure.
+
+        The invariants are: buckets are strictly increasing in count, no
+        bucket is empty, every indexed label lives in the bucket the index
+        points at, and the doubly linked pointers are mutually consistent.
+        """
+        seen = 0
+        bucket = self._head
+        prev: Optional[_Bucket] = None
+        while bucket is not None:
+            assert bucket.labels, "empty bucket left linked"
+            assert bucket.prev is prev, "broken prev pointer"
+            if prev is not None:
+                assert bucket.count > prev.count, "bucket counts not increasing"
+            for label in bucket.labels:
+                assert self._index[label] is bucket, "index points at wrong bucket"
+            seen += len(bucket.labels)
+            prev = bucket
+            bucket = bucket.next
+        assert self._tail is prev, "broken tail pointer"
+        assert seen == len(self._index), "index size mismatch"

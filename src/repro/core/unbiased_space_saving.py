@@ -1,0 +1,258 @@
+"""Unbiased Space Saving — the paper's core contribution.
+
+The sketch is a one-line modification of Deterministic Space Saving
+(Algorithm 1 of the paper): when an arriving item is not already in the
+sketch, the minimum bin's counter is always incremented, but its *label* is
+replaced with the new item only with probability
+
+    p = w / (N̂_min + w)
+
+(``1 / (N̂_min + 1)`` for unit weights).  Theorem 1 shows this makes every
+per-item count estimate exactly unbiased, which in turn makes arbitrary
+subset sums unbiased — the property Deterministic Space Saving lacks.  At
+the same time, Theorems 3 and 10 show the sketch retains strong frequent-item
+guarantees: on i.i.d. streams every frequent item is eventually kept with
+probability 1 and its relative frequency estimate is strongly consistent,
+and on arbitrary streams the inclusion probability of an item is never worse
+than that of a uniform random sample of the same size.
+
+The class below also provides the variance estimator and Normal confidence
+intervals of §6.4-6.5 so that a caller can attach uncertainty to any subset
+sum it reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro._typing import Item, ItemPredicate
+from repro.core.base import (
+    BinStore,
+    HeapBinStore,
+    StreamSummaryBinStore,
+    SubsetSumSketch,
+)
+from repro.core.variance import EstimateWithError, subset_variance_estimate
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+
+__all__ = ["UnbiasedSpaceSaving"]
+
+
+class UnbiasedSpaceSaving(SubsetSumSketch):
+    """Unbiased Space Saving sketch (Algorithm 1 with ``p = 1/(N̂_min + 1)``).
+
+    Parameters
+    ----------
+    capacity:
+        Number of bins ``m``.
+    seed:
+        Seed for the internal random generator used for the randomized label
+        replacement and for breaking ties among minimum bins.  Fixing the
+        seed makes a run fully reproducible.
+    store:
+        ``"auto"`` (default) starts with the integer stream-summary store and
+        transparently migrates to the float heap store on the first
+        non-integer weight; ``"stream_summary"`` and ``"heap"`` force one
+        backend.
+
+    Example
+    -------
+    >>> sketch = UnbiasedSpaceSaving(capacity=3, seed=7)
+    >>> _ = sketch.update_stream(["ad1", "ad1", "ad2", "ad3", "ad1"])
+    >>> sketch.rows_processed
+    5
+    >>> round(sum(sketch.estimates().values()), 6)
+    5.0
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        seed: Optional[int] = None,
+        store: str = "auto",
+    ) -> None:
+        super().__init__(capacity, seed=seed)
+        if store not in ("auto", "stream_summary", "heap"):
+            raise InvalidParameterError(
+                f"unknown store {store!r}; expected 'auto', 'stream_summary' or 'heap'"
+            )
+        self._store_kind = store
+        self._store: BinStore
+        if store == "heap":
+            self._store = HeapBinStore(rng=self._rng)
+        else:
+            self._store = StreamSummaryBinStore(rng=self._rng)
+        #: number of label replacements performed (useful for diagnostics)
+        self._label_replacements = 0
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bins(
+        cls,
+        capacity: int,
+        bins: Dict[Item, float],
+        *,
+        rows_processed: int = 0,
+        total_weight: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> "UnbiasedSpaceSaving":
+        """Build a sketch directly from ``(label, count)`` bins.
+
+        Used by the merge and distributed layers, which first reduce a
+        combined set of bins down to ``capacity`` (preserving expectations)
+        and then need a live sketch that can keep ingesting rows.  Counts may
+        be real-valued (Horvitz-Thompson adjusted), so the heap store is used.
+
+        Raises
+        ------
+        InvalidParameterError
+            If more bins than ``capacity`` are supplied.
+        """
+        if len(bins) > capacity:
+            raise InvalidParameterError(
+                f"cannot place {len(bins)} bins into a capacity-{capacity} sketch"
+            )
+        sketch = cls(capacity, seed=seed, store="heap")
+        for label, count in bins.items():
+            if count < 0:
+                raise InvalidParameterError("bin counts must be non-negative")
+            if count > 0:
+                sketch._store.insert(label, float(count))
+        sketch._rows_processed = int(rows_processed)
+        if total_weight is None:
+            total_weight = float(sum(bins.values()))
+        sketch._total_weight = float(total_weight)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one raw row for ``item``.
+
+        Unit-weight rows are the common case (one click, one packet, one
+        impression).  Positive real-valued weights are supported via the
+        randomized pairwise PPS reduction described in §5.3: the minimum bin
+        is incremented by ``weight`` and relabeled with probability
+        ``weight / (N̂_min + weight)``, which preserves unbiasedness.
+        """
+        if weight <= 0:
+            raise UnsupportedUpdateError(
+                "Unbiased Space Saving requires positive weights; "
+                "see repro.core.weighted for signed updates"
+            )
+        if weight != int(weight):
+            self._ensure_float_store()
+        self._record_update(weight)
+        store = self._store
+        if item in store:
+            store.increment(item, weight)
+            return
+        if len(store) < self._capacity:
+            store.insert(item, weight)
+            return
+        min_label = store.min_label()
+        min_count = store.get(min_label)
+        new_count = store.increment(min_label, weight)
+        # Replace the label with probability weight / (min_count + weight) so
+        # that the expected increment to the arriving item equals its weight
+        # and the expected change to the displaced label's count is zero.
+        if self._rng.random() * new_count < weight:
+            store.relabel(min_label, item)
+            self._label_replacements += 1
+        # Silence the unused-variable lint for readability of the formula.
+        del min_count
+
+    def _ensure_float_store(self) -> None:
+        """Migrate from the integer store to the heap store in place."""
+        if isinstance(self._store, HeapBinStore):
+            return
+        if self._store_kind == "stream_summary":
+            raise UnsupportedUpdateError(
+                "non-integer weights require store='heap' or store='auto'"
+            )
+        migrated = HeapBinStore(rng=self._rng)
+        for label, count in self._store.items():
+            migrated.insert(label, count)
+        self._store = migrated
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Unbiased estimate of the total weight of ``item`` (0 when absent)."""
+        return self._store.get(item, 0.0)
+
+    def estimates(self) -> Dict[Item, float]:
+        return self._store.counts()
+
+    @property
+    def min_count(self) -> float:
+        """The minimum bin count ``N̂_min`` (0 while the sketch is not full)."""
+        if len(self._store) < self._capacity or len(self._store) == 0:
+            return 0.0
+        return self._store.min_count()
+
+    @property
+    def label_replacements(self) -> int:
+        """How many times a minimum bin's label has been replaced."""
+        return self._label_replacements
+
+    def is_saturated(self) -> bool:
+        """Whether the sketch has filled all of its bins."""
+        return len(self._store) >= self._capacity
+
+    # ------------------------------------------------------------------
+    # Subset sum estimation with uncertainty (§6.4 / §6.5)
+    # ------------------------------------------------------------------
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum estimate with the equation-5 variance estimate attached."""
+        retained = self.estimates()
+        estimate = 0.0
+        in_subset = 0
+        for item, count in retained.items():
+            if predicate(item):
+                estimate += count
+                in_subset += 1
+        variance = subset_variance_estimate(self.min_count, in_subset)
+        return EstimateWithError(estimate=estimate, variance=variance)
+
+    def subset_sum_confidence_interval(
+        self, predicate: ItemPredicate, confidence: float = 0.95
+    ) -> Tuple[float, float]:
+        """Normal confidence interval for a subset sum (§6.5)."""
+        return self.subset_sum_with_error(predicate).confidence_interval(confidence)
+
+    def total_estimate(self) -> float:
+        """Estimate of the total weight; exact by construction.
+
+        Every row increments exactly one counter by its weight, so the sum
+        of all retained counters always equals the total ingested weight.
+        This is one advantage over priority sampling noted in §7.
+        """
+        return float(sum(count for _, count in self._store.items()))
+
+    # ------------------------------------------------------------------
+    # Introspection used by the merge / evaluation layers
+    # ------------------------------------------------------------------
+    def bins(self) -> List[Tuple[Item, float]]:
+        """Return the retained ``(label, count)`` pairs as a list."""
+        return list(self._store.items())
+
+    def approximate_inclusion_probability(self, count: float) -> float:
+        """Approximate probability that an item of true count ``count`` is retained.
+
+        In the i.i.d. regime the sketch behaves like a thresholded PPS sample
+        with threshold ``N̂_min`` (§6.2): items with ``count >= N̂_min`` are
+        retained with probability (approaching) 1 and smaller items with
+        probability ``count / N̂_min``.
+        """
+        if count < 0:
+            raise InvalidParameterError("count must be non-negative")
+        min_count = self.min_count
+        if min_count <= 0:
+            return 1.0
+        return min(1.0, count / min_count)

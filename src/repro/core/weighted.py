@@ -1,0 +1,131 @@
+"""Signed and real-valued update support (§5.3 extension).
+
+The base :class:`~repro.core.unbiased_space_saving.UnbiasedSpaceSaving`
+already handles positive real-valued weights through its randomized pairwise
+PPS reduction.  Two additional pieces live here:
+
+* :class:`SignedUnbiasedSpaceSaving` — handles deletions / negative weights
+  by maintaining two unbiased sketches, one for positive flow and one for
+  the magnitude of negative flow; every estimate and subset sum is the
+  difference of two unbiased estimates and hence unbiased.  This mirrors the
+  paper's remark that reductions can be made two-sided to support deletions.
+* :func:`weighted_stream_to_unit_rows` — a helper for integer-weighted rows
+  that expands them into unit rows, useful when an exact integer code path
+  (stream-summary store) is preferred over the randomized weighted update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro._typing import Item, ItemPredicate
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.core.variance import EstimateWithError
+from repro.errors import InvalidParameterError
+
+__all__ = ["SignedUnbiasedSpaceSaving", "weighted_stream_to_unit_rows"]
+
+
+def weighted_stream_to_unit_rows(
+    rows: Iterable[Tuple[Item, int]]
+) -> Iterator[Item]:
+    """Expand ``(item, integer_weight)`` rows into repeated unit rows.
+
+    Raises
+    ------
+    InvalidParameterError
+        If a weight is negative or not an integer.
+    """
+    for item, weight in rows:
+        if weight < 0 or weight != int(weight):
+            raise InvalidParameterError(
+                "weighted_stream_to_unit_rows requires non-negative integer weights"
+            )
+        for _ in range(int(weight)):
+            yield item
+
+
+class SignedUnbiasedSpaceSaving:
+    """Unbiased sketching of streams with insertions *and* deletions.
+
+    Positive-weight updates go to one Unbiased Space Saving sketch and the
+    magnitudes of negative-weight updates to another; the estimate for an
+    item (and any subset sum) is the difference of the two sketches'
+    unbiased estimates, so it is unbiased for the net count.  The variance
+    estimates add because the two sketches are independent.
+
+    This trades space (two sketches) for the ability to process turnstile
+    streams, e.g. click streams with retraction events or join-size deltas.
+    """
+
+    def __init__(self, capacity: int, *, seed: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("capacity must be a positive integer")
+        base_seed = seed if seed is not None else 0
+        self._positive = UnbiasedSpaceSaving(capacity, seed=base_seed)
+        self._negative = UnbiasedSpaceSaving(capacity, seed=base_seed + 1)
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        """Bin budget of each of the two internal sketches."""
+        return self._capacity
+
+    @property
+    def rows_processed(self) -> int:
+        """Total rows processed across both directions."""
+        return self._positive.rows_processed + self._negative.rows_processed
+
+    @property
+    def net_weight(self) -> float:
+        """Total positive weight minus total negative weight ingested."""
+        return self._positive.total_weight - self._negative.total_weight
+
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one signed row; ``weight`` may be positive or negative."""
+        if weight == 0:
+            raise InvalidParameterError("zero-weight updates carry no information")
+        if weight > 0:
+            self._positive.update(item, weight)
+        else:
+            self._negative.update(item, -weight)
+
+    def update_stream(self, rows: Iterable[Tuple[Item, float]]) -> "SignedUnbiasedSpaceSaving":
+        """Consume an iterable of ``(item, signed_weight)`` pairs."""
+        for item, weight in rows:
+            self.update(item, weight)
+        return self
+
+    def estimate(self, item: Item) -> float:
+        """Unbiased estimate of the net count of ``item``."""
+        return self._positive.estimate(item) - self._negative.estimate(item)
+
+    def estimates(self) -> Dict[Item, float]:
+        """Net estimates for every item retained by either sketch."""
+        results: Dict[Item, float] = dict(self._positive.estimates())
+        for item, count in self._negative.estimates().items():
+            results[item] = results.get(item, 0.0) - count
+        return results
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Unbiased estimate of the net subset sum."""
+        return self._positive.subset_sum(predicate) - self._negative.subset_sum(predicate)
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Net subset sum with the summed variance of the two directions."""
+        plus = self._positive.subset_sum_with_error(predicate)
+        minus = self._negative.subset_sum_with_error(predicate)
+        return EstimateWithError(
+            estimate=plus.estimate - minus.estimate,
+            variance=plus.variance + minus.variance,
+        )
+
+    @property
+    def positive_sketch(self) -> UnbiasedSpaceSaving:
+        """The sketch accumulating positive flow."""
+        return self._positive
+
+    @property
+    def negative_sketch(self) -> UnbiasedSpaceSaving:
+        """The sketch accumulating the magnitude of negative flow."""
+        return self._negative

@@ -1,0 +1,23 @@
+"""Distributed ingestion: partitioning strategies and simulated map-reduce merges."""
+
+from repro.distributed.mapreduce import (
+    DistributedSubsetSum,
+    reduce_sketches,
+    sketch_partitions,
+    tree_merge,
+)
+from repro.distributed.partition import (
+    hash_partition,
+    key_range_partition,
+    round_robin_partition,
+)
+
+__all__ = [
+    "DistributedSubsetSum",
+    "reduce_sketches",
+    "sketch_partitions",
+    "tree_merge",
+    "hash_partition",
+    "key_range_partition",
+    "round_robin_partition",
+]

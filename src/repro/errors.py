@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its valid domain."""
+
+
+class SketchStateError(ReproError, RuntimeError):
+    """An operation was attempted on a sketch in an incompatible state.
+
+    Examples include merging sketches with incompatible configurations or
+    querying an estimator that requires at least one processed row.
+    """
+
+
+class IncompatibleSketchError(SketchStateError):
+    """Two sketches cannot be merged because their configurations differ."""
+
+
+class EmptySketchError(SketchStateError):
+    """A query requiring data was issued against an empty sketch."""
+
+
+class UnsupportedUpdateError(ReproError, TypeError):
+    """An update (e.g. negative weight) is not supported by this sketch."""

@@ -1,0 +1,79 @@
+"""Evaluation harness: metrics, Monte-Carlo runner and per-figure experiments."""
+
+from repro.evaluation.experiments import EXPERIMENTS, get_experiment, list_experiments
+from repro.evaluation.figures_adclick import MarginalEstimationExperiment
+from repro.evaluation.figures_iid import (
+    InclusionProbabilityExperiment,
+    PriorityComparisonExperiment,
+    SubsetSumErrorExperiment,
+)
+from repro.evaluation.figures_pathological import (
+    CoverageExperiment,
+    EpochErrorExperiment,
+    MergeProfileExperiment,
+    SortedStreamStudy,
+    TwoHalfStreamExperiment,
+    VarianceAccuracyExperiment,
+)
+from repro.evaluation.metrics import (
+    bias,
+    binned_relative_error,
+    empirical_inclusion_probability,
+    mean_squared_error,
+    relative_bias,
+    relative_efficiency,
+    relative_mse,
+    relative_rmse,
+    root_mean_squared_error,
+)
+from repro.evaluation.reporting import (
+    format_series,
+    format_summary,
+    format_table,
+    print_experiment,
+)
+from repro.evaluation.runner import (
+    TrialResult,
+    build_bottom_k,
+    build_deterministic_sketch,
+    build_unbiased_sketch,
+    draw_priority_sample,
+    random_item_subsets,
+    run_trials,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "MarginalEstimationExperiment",
+    "InclusionProbabilityExperiment",
+    "PriorityComparisonExperiment",
+    "SubsetSumErrorExperiment",
+    "CoverageExperiment",
+    "EpochErrorExperiment",
+    "MergeProfileExperiment",
+    "SortedStreamStudy",
+    "TwoHalfStreamExperiment",
+    "VarianceAccuracyExperiment",
+    "bias",
+    "binned_relative_error",
+    "empirical_inclusion_probability",
+    "mean_squared_error",
+    "relative_bias",
+    "relative_efficiency",
+    "relative_mse",
+    "relative_rmse",
+    "root_mean_squared_error",
+    "format_series",
+    "format_summary",
+    "format_table",
+    "print_experiment",
+    "TrialResult",
+    "build_bottom_k",
+    "build_deterministic_sketch",
+    "build_unbiased_sketch",
+    "draw_priority_sample",
+    "random_item_subsets",
+    "run_trials",
+]

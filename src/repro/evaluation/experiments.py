@@ -1,0 +1,92 @@
+"""Registry mapping paper figures to their experiment classes.
+
+Every table/figure of the paper's evaluation section has an experiment id
+(``fig2_inclusion_probabilities``, ``fig7_pathological_two_half``, ...) that
+DESIGN.md's per-experiment index references and the benchmark files invoke.
+:func:`get_experiment` builds an experiment with optional parameter
+overrides so the same registry serves quick smoke tests and full benchmark
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import InvalidParameterError
+from repro.evaluation.figures_adclick import MarginalEstimationExperiment
+from repro.evaluation.figures_iid import (
+    InclusionProbabilityExperiment,
+    PriorityComparisonExperiment,
+    SubsetSumErrorExperiment,
+)
+from repro.evaluation.figures_pathological import (
+    CoverageExperiment,
+    EpochErrorExperiment,
+    MergeProfileExperiment,
+    SortedStreamStudy,
+    TwoHalfStreamExperiment,
+    VarianceAccuracyExperiment,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+def _fig8(**overrides):
+    return CoverageExperiment(study=SortedStreamStudy(**overrides))
+
+
+def _fig9(**overrides):
+    return VarianceAccuracyExperiment(study=SortedStreamStudy(**overrides))
+
+
+def _fig10(**overrides):
+    return EpochErrorExperiment(study=SortedStreamStudy(**overrides))
+
+
+def _fig3(**overrides):
+    overrides.setdefault("capacity", 200)
+    overrides.setdefault("include_bottom_k", False)
+    return SubsetSumErrorExperiment(**overrides)
+
+
+def _fig4(**overrides):
+    overrides.setdefault("capacity", 100)
+    overrides.setdefault("include_bottom_k", True)
+    return SubsetSumErrorExperiment(**overrides)
+
+
+#: Experiment id -> factory accepting keyword overrides.
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
+    "fig1_merge_profile": MergeProfileExperiment,
+    "fig2_inclusion_probabilities": InclusionProbabilityExperiment,
+    "fig3_relative_error_200": _fig3,
+    "fig4_relative_error_100": _fig4,
+    "fig5_vs_priority": PriorityComparisonExperiment,
+    "fig6_marginals": MarginalEstimationExperiment,
+    "fig7_pathological_two_half": TwoHalfStreamExperiment,
+    "fig8_ci_coverage": _fig8,
+    "fig9_stddev_accuracy": _fig9,
+    "fig10_deterministic_vs_unbiased": _fig10,
+}
+
+
+def list_experiments() -> List[str]:
+    """All registered experiment ids, in figure order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str, **overrides):
+    """Build the experiment for one figure with optional parameter overrides.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the experiment id is unknown.
+    """
+    factory = EXPERIMENTS.get(experiment_id)
+    if factory is None:
+        known = ", ".join(EXPERIMENTS)
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        )
+    return factory(**overrides)

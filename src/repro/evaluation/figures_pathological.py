@@ -1,0 +1,486 @@
+"""Experiments on non-i.i.d. streams: figures 1, 7, 8, 9 and 10.
+
+These are the experiments where the difference between Deterministic and
+Unbiased Space Saving appears: merge behaviour (figure 1), a stream whose
+two halves have disjoint item populations (figure 7) and an ascending
+frequency-sorted stream queried per epoch (figures 8-10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.deterministic_space_saving import DeterministicSpaceSaving
+from repro.core.merge import merge_misra_gries, merge_unbiased
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.core.variance import coverage, normal_confidence_interval, poisson_pps_variance
+from repro.evaluation.metrics import empirical_inclusion_probability, relative_rmse
+from repro.evaluation.runner import random_item_subsets
+from repro.streams.epochs import EpochPartition
+from repro.streams.frequency import FrequencyModel, scaled_weibull_counts
+from repro.streams.generators import iterate_rows
+from repro.streams.pathological import sorted_stream, two_half_stream
+
+__all__ = [
+    "MergeProfileExperiment",
+    "TwoHalfStreamExperiment",
+    "SortedStreamStudy",
+    "CoverageExperiment",
+    "VarianceAccuracyExperiment",
+    "EpochErrorExperiment",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — merge behaviour: Misra-Gries vs unbiased merge
+# ----------------------------------------------------------------------
+@dataclass
+class MergeProfileResult:
+    """Sorted bin-count profiles after the two merge strategies."""
+
+    misra_gries_profile: List[float]
+    unbiased_profile: List[float]
+    combined_total: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per bin rank with both profiles (shorter one padded with 0)."""
+        length = max(len(self.misra_gries_profile), len(self.unbiased_profile))
+        rows = []
+        for rank in range(length):
+            rows.append(
+                {
+                    "bin_rank": rank,
+                    "misra_gries_count": self.misra_gries_profile[rank]
+                    if rank < len(self.misra_gries_profile)
+                    else 0.0,
+                    "unbiased_count": self.unbiased_profile[rank]
+                    if rank < len(self.unbiased_profile)
+                    else 0.0,
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Total mass retained by each merge relative to the combined total."""
+        return {
+            "combined_total": self.combined_total,
+            "misra_gries_total": float(sum(self.misra_gries_profile)),
+            "unbiased_total": float(sum(self.unbiased_profile)),
+        }
+
+
+@dataclass
+class MergeProfileExperiment:
+    """Figure 1: how the two merge strategies redistribute bin mass.
+
+    Two sketches are built on two disjoint halves of a skewed item universe
+    and merged both ways.  The Misra-Gries merge truncates the tail (total
+    mass shrinks); the unbiased merge preserves the expected total by moving
+    tail mass onto the retained bins.
+    """
+
+    num_items_per_half: int = 400
+    target_total_per_half: int = 30_000
+    shape: float = 0.3
+    capacity: int = 100
+    seed: int = 0
+
+    def run(self) -> MergeProfileResult:
+        first_model = scaled_weibull_counts(
+            num_items=self.num_items_per_half,
+            shape=self.shape,
+            target_total=self.target_total_per_half,
+        )
+        second_counts = {
+            item + self.num_items_per_half: count
+            for item, count in scaled_weibull_counts(
+                num_items=self.num_items_per_half,
+                shape=self.shape,
+                target_total=self.target_total_per_half,
+            ).counts.items()
+        }
+        second_model = FrequencyModel(counts=second_counts, name="second-half")
+
+        rng = np.random.default_rng(self.seed)
+        unbiased_sketches = []
+        deterministic_sketches = []
+        for index, model in enumerate((first_model, second_model)):
+            stream = list(iterate_rows(sorted_stream(model, ascending=False)))
+            rng.shuffle(stream)
+            unbiased = UnbiasedSpaceSaving(self.capacity, seed=self.seed + index)
+            deterministic = DeterministicSpaceSaving(self.capacity, seed=self.seed + index)
+            for row in stream:
+                unbiased.update(row)
+                deterministic.update(row)
+            unbiased_sketches.append(unbiased)
+            deterministic_sketches.append(deterministic)
+
+        misra_gries = merge_misra_gries(
+            deterministic_sketches[0], deterministic_sketches[1], capacity=self.capacity
+        )
+        unbiased = merge_unbiased(
+            unbiased_sketches[0],
+            unbiased_sketches[1],
+            capacity=self.capacity,
+            seed=self.seed,
+        )
+        return MergeProfileResult(
+            misra_gries_profile=sorted(misra_gries.values(), reverse=True),
+            unbiased_profile=sorted(unbiased.estimates().values(), reverse=True),
+            combined_total=float(first_model.total + second_model.total),
+        )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — the two-half pathological stream
+# ----------------------------------------------------------------------
+@dataclass
+class TwoHalfStreamResult:
+    """Inclusion probabilities and per-half errors for both sketches."""
+
+    inclusion_first_half: Dict[str, float]
+    inclusion_second_half: Dict[str, float]
+    rrmse_first_half: Dict[str, float]
+    rrmse_second_half: Dict[str, float]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per (half, method) with inclusion and error figures."""
+        rows = []
+        for half, inclusion, rrmse in (
+            ("first_half", self.inclusion_first_half, self.rrmse_first_half),
+            ("second_half", self.inclusion_second_half, self.rrmse_second_half),
+        ):
+            for method in inclusion:
+                rows.append(
+                    {
+                        "half": half,
+                        "method": method,
+                        "mean_inclusion_probability": inclusion[method],
+                        "subset_rrmse": rrmse[method],
+                    }
+                )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Headline comparison: error on first-half queries, both methods."""
+        return {
+            "unbiased_rrmse_first_half": self.rrmse_first_half["unbiased_space_saving"],
+            "deterministic_rrmse_first_half": self.rrmse_first_half[
+                "deterministic_space_saving"
+            ],
+            "unbiased_inclusion_first_half": self.inclusion_first_half[
+                "unbiased_space_saving"
+            ],
+            "deterministic_inclusion_first_half": self.inclusion_first_half[
+                "deterministic_space_saving"
+            ],
+        }
+
+
+@dataclass
+class TwoHalfStreamExperiment:
+    """Figure 7: items seen only in the first half of the stream.
+
+    The stream consists of two independent exchangeable halves over disjoint
+    item ranges.  Deterministic Space Saving forgets all but the most
+    frequent first-half items; Unbiased Space Saving keeps sampling them with
+    PPS-like probabilities, so first-half subset sums stay accurate.
+    """
+
+    num_items_per_half: int = 500
+    target_total_per_half: int = 50_000
+    shape: float = 0.3
+    capacity: int = 100
+    num_trials: int = 10
+    subset_size: int = 50
+    num_subsets: int = 20
+    seed: int = 0
+
+    def run(self) -> TwoHalfStreamResult:
+        first_model = scaled_weibull_counts(
+            num_items=self.num_items_per_half,
+            shape=self.shape,
+            target_total=self.target_total_per_half,
+        )
+        second_model = FrequencyModel(
+            counts={
+                item + self.num_items_per_half: count
+                for item, count in scaled_weibull_counts(
+                    num_items=self.num_items_per_half,
+                    shape=self.shape,
+                    target_total=self.target_total_per_half,
+                ).counts.items()
+            },
+            name="second-half",
+        )
+        combined_counts = dict(first_model.counts)
+        combined_counts.update(second_model.counts)
+        combined = FrequencyModel(counts=combined_counts, name="two-half")
+
+        first_items = set(first_model.counts)
+        second_items = set(second_model.counts)
+        first_subsets = random_item_subsets(
+            first_model, self.num_subsets, self.subset_size, seed=self.seed
+        )
+        second_subsets = random_item_subsets(
+            second_model, self.num_subsets, self.subset_size, seed=self.seed + 1
+        )
+
+        retained: Dict[str, List[set]] = {
+            "unbiased_space_saving": [],
+            "deterministic_space_saving": [],
+        }
+        estimates: Dict[Tuple[str, str], List[float]] = {}
+        truths: Dict[str, List[float]] = {"first_half": [], "second_half": []}
+        for subset in first_subsets:
+            truths["first_half"].append(float(combined.subset_total(subset)))
+        for subset in second_subsets:
+            truths["second_half"].append(float(combined.subset_total(subset)))
+
+        for trial in range(self.num_trials):
+            rng = np.random.default_rng(self.seed + trial)
+            stream, _ = two_half_stream(first_model, second_model, rng=rng)
+            unbiased = UnbiasedSpaceSaving(self.capacity, seed=self.seed + trial)
+            deterministic = DeterministicSpaceSaving(self.capacity, seed=self.seed + trial)
+            for row in iterate_rows(stream):
+                unbiased.update(row)
+                deterministic.update(row)
+            sketches = {
+                "unbiased_space_saving": unbiased,
+                "deterministic_space_saving": deterministic,
+            }
+            for method, sketch in sketches.items():
+                sketch_estimates = sketch.estimates()
+                retained[method].append(set(sketch_estimates))
+                for half, subsets in (
+                    ("first_half", first_subsets),
+                    ("second_half", second_subsets),
+                ):
+                    for subset in subsets:
+                        subset_set = set(subset)
+                        estimates.setdefault((method, half), []).append(
+                            float(
+                                sum(
+                                    value
+                                    for item, value in sketch_estimates.items()
+                                    if item in subset_set
+                                )
+                            )
+                        )
+
+        inclusion_first: Dict[str, float] = {}
+        inclusion_second: Dict[str, float] = {}
+        rrmse_first: Dict[str, float] = {}
+        rrmse_second: Dict[str, float] = {}
+        for method in retained:
+            first_probabilities = empirical_inclusion_probability(
+                retained[method], sorted(first_items)
+            )
+            second_probabilities = empirical_inclusion_probability(
+                retained[method], sorted(second_items)
+            )
+            inclusion_first[method] = float(np.mean(list(first_probabilities.values())))
+            inclusion_second[method] = float(np.mean(list(second_probabilities.values())))
+            rrmse_first[method] = relative_rmse(
+                estimates[(method, "first_half")],
+                truths["first_half"] * self.num_trials,
+            )
+            rrmse_second[method] = relative_rmse(
+                estimates[(method, "second_half")],
+                truths["second_half"] * self.num_trials,
+            )
+        return TwoHalfStreamResult(
+            inclusion_first_half=inclusion_first,
+            inclusion_second_half=inclusion_second,
+            rrmse_first_half=rrmse_first,
+            rrmse_second_half=rrmse_second,
+        )
+
+
+# ----------------------------------------------------------------------
+# Figures 8-10 — ascending frequency-sorted stream, queried per epoch
+# ----------------------------------------------------------------------
+@dataclass
+class SortedStreamStudy:
+    """Shared Monte-Carlo study behind figures 8, 9 and 10.
+
+    The item universe is split into ``num_epochs`` equal groups by frequency
+    rank; the stream presents items grouped and sorted ascending by
+    frequency (the worst case for Unbiased Space Saving).  Each trial builds
+    an Unbiased and a Deterministic Space Saving sketch and records, per
+    epoch: the subset sum estimate, the equation-5 variance estimate, and
+    the truth.
+    """
+
+    num_items: int = 2000
+    target_total: int = 200_000
+    shape: float = 0.3
+    capacity: int = 200
+    num_epochs: int = 10
+    num_trials: int = 10
+    confidence: float = 0.95
+    seed: int = 0
+
+    #: populated by :meth:`run`
+    epoch_truths: List[float] = field(default_factory=list, init=False)
+    unbiased_estimates: List[List[float]] = field(default_factory=list, init=False)
+    unbiased_variances: List[List[float]] = field(default_factory=list, init=False)
+    deterministic_estimates: List[List[float]] = field(default_factory=list, init=False)
+
+    def run(self) -> "SortedStreamStudy":
+        model = scaled_weibull_counts(
+            num_items=self.num_items, shape=self.shape, target_total=self.target_total
+        )
+        partition = EpochPartition(model, self.num_epochs, ascending=True)
+        predicates = partition.predicates()
+        self.epoch_truths = [float(total) for total in partition.true_totals()]
+        self.unbiased_estimates = [[] for _ in range(self.num_epochs)]
+        self.unbiased_variances = [[] for _ in range(self.num_epochs)]
+        self.deterministic_estimates = [[] for _ in range(self.num_epochs)]
+        stream = list(iterate_rows(sorted_stream(model, ascending=True)))
+        for trial in range(self.num_trials):
+            unbiased = UnbiasedSpaceSaving(self.capacity, seed=self.seed + trial)
+            deterministic = DeterministicSpaceSaving(
+                self.capacity, seed=self.seed + trial
+            )
+            for row in stream:
+                unbiased.update(row)
+                deterministic.update(row)
+            for epoch, predicate in enumerate(predicates):
+                with_error = unbiased.subset_sum_with_error(predicate)
+                self.unbiased_estimates[epoch].append(with_error.estimate)
+                self.unbiased_variances[epoch].append(with_error.variance)
+                self.deterministic_estimates[epoch].append(
+                    float(
+                        sum(
+                            value
+                            for item, value in deterministic.estimates().items()
+                            if predicate(item)
+                        )
+                    )
+                )
+        self._partition = partition
+        self._model = model
+        return self
+
+    # -- views used by the per-figure experiments -------------------------
+    def coverage_by_epoch(self) -> List[float]:
+        """Empirical coverage of the Normal confidence intervals per epoch."""
+        results = []
+        for epoch in range(self.num_epochs):
+            intervals = [
+                normal_confidence_interval(estimate, variance, self.confidence)
+                for estimate, variance in zip(
+                    self.unbiased_estimates[epoch], self.unbiased_variances[epoch]
+                )
+            ]
+            results.append(
+                coverage(intervals, [self.epoch_truths[epoch]] * len(intervals))
+            )
+        return results
+
+    def mean_ci_width_by_epoch(self) -> List[float]:
+        """Average confidence-interval width per epoch."""
+        widths = []
+        for epoch in range(self.num_epochs):
+            epoch_widths = [
+                high - low
+                for low, high in (
+                    normal_confidence_interval(estimate, variance, self.confidence)
+                    for estimate, variance in zip(
+                        self.unbiased_estimates[epoch], self.unbiased_variances[epoch]
+                    )
+                )
+            ]
+            widths.append(float(np.mean(epoch_widths)))
+        return widths
+
+    def stddev_ratio_by_epoch(self) -> List[float]:
+        """Mean estimated stddev divided by the empirical stddev, per epoch."""
+        ratios = []
+        for epoch in range(self.num_epochs):
+            estimated = float(
+                np.mean([math.sqrt(v) for v in self.unbiased_variances[epoch]])
+            )
+            empirical = float(np.std(self.unbiased_estimates[epoch]))
+            ratios.append(estimated / empirical if empirical > 0 else float("inf"))
+        return ratios
+
+    def pps_stddev_ratio_by_epoch(self) -> List[float]:
+        """Empirical stddev divided by the Poisson PPS stddev, per epoch."""
+        alpha = self._model.total / self.capacity
+        ratios = []
+        for epoch in range(self.num_epochs):
+            empirical = float(np.std(self.unbiased_estimates[epoch]))
+            epoch_counts = [
+                float(self._model.count(item))
+                for item in self._partition.members(epoch)
+            ]
+            pps_std = math.sqrt(poisson_pps_variance(epoch_counts, alpha))
+            ratios.append(empirical / pps_std if pps_std > 0 else float("inf"))
+        return ratios
+
+    def rrmse_by_epoch(self, method: str) -> List[float]:
+        """Percent RRMSE per epoch for ``"unbiased"`` or ``"deterministic"``."""
+        estimates = (
+            self.unbiased_estimates if method == "unbiased" else self.deterministic_estimates
+        )
+        results = []
+        for epoch in range(self.num_epochs):
+            truth = self.epoch_truths[epoch]
+            rrmse = relative_rmse(estimates[epoch], [truth] * len(estimates[epoch]))
+            results.append(100.0 * rrmse)
+        return results
+
+
+@dataclass
+class CoverageExperiment:
+    """Figure 8: per-epoch truths, CI widths and empirical coverage."""
+
+    study: Optional[SortedStreamStudy] = None
+
+    def run(self) -> Dict[str, List[float]]:
+        study = self.study or SortedStreamStudy()
+        if not study.epoch_truths:
+            study.run()
+        return {
+            "epoch_truths": list(study.epoch_truths),
+            "mean_ci_width": study.mean_ci_width_by_epoch(),
+            "coverage": study.coverage_by_epoch(),
+        }
+
+
+@dataclass
+class VarianceAccuracyExperiment:
+    """Figure 9: estimated vs empirical stddev, and empirical vs PPS stddev."""
+
+    study: Optional[SortedStreamStudy] = None
+
+    def run(self) -> Dict[str, List[float]]:
+        study = self.study or SortedStreamStudy()
+        if not study.epoch_truths:
+            study.run()
+        return {
+            "stddev_overestimation": study.stddev_ratio_by_epoch(),
+            "pathological_vs_pps_stddev": study.pps_stddev_ratio_by_epoch(),
+        }
+
+
+@dataclass
+class EpochErrorExperiment:
+    """Figure 10: percent RRMSE per epoch, Deterministic vs Unbiased."""
+
+    study: Optional[SortedStreamStudy] = None
+
+    def run(self) -> Dict[str, List[float]]:
+        study = self.study or SortedStreamStudy()
+        if not study.epoch_truths:
+            study.run()
+        return {
+            "deterministic_pct_rrmse": study.rrmse_by_epoch("deterministic"),
+            "unbiased_pct_rrmse": study.rrmse_by_epoch("unbiased"),
+        }

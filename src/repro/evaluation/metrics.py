@@ -1,0 +1,172 @@
+"""Error metrics used by the experiment harness.
+
+The paper reports results mainly through the relative root mean squared
+error (RRMSE = √MSE / true value), relative MSE, inclusion probabilities,
+confidence-interval coverage and relative efficiency (variance ratios).  All
+of them are implemented here as small, pure functions over parallel
+sequences of estimates and truths so the per-figure experiments stay free of
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "relative_rmse",
+    "relative_mse",
+    "bias",
+    "relative_bias",
+    "relative_efficiency",
+    "empirical_inclusion_probability",
+    "binned_relative_error",
+]
+
+
+def _validate_lengths(estimates: Sequence[float], truths: Sequence[float]) -> None:
+    if len(estimates) != len(truths):
+        raise InvalidParameterError("estimates and truths must have equal length")
+    if not estimates:
+        raise InvalidParameterError("metrics require at least one observation")
+
+
+def mean_squared_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Average squared error over paired observations."""
+    _validate_lengths(estimates, truths)
+    errors = np.asarray(estimates, dtype=np.float64) - np.asarray(truths, dtype=np.float64)
+    return float(np.mean(errors**2))
+
+
+def root_mean_squared_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Square root of the mean squared error."""
+    return math.sqrt(mean_squared_error(estimates, truths))
+
+
+def relative_rmse(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """RRMSE = √MSE / mean(truth), the paper's headline error metric (§7).
+
+    For repeated estimates of a single quantity the denominator is that
+    quantity; for a collection of different subsets the mean truth is the
+    natural normalizer and matches how the smoothed figures are built.
+    """
+    _validate_lengths(estimates, truths)
+    mean_truth = float(np.mean(np.asarray(truths, dtype=np.float64)))
+    if mean_truth == 0:
+        raise InvalidParameterError("relative RRMSE is undefined for zero mean truth")
+    return root_mean_squared_error(estimates, truths) / abs(mean_truth)
+
+
+def relative_mse(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Relative MSE = MSE / mean(truth)² (the squared RRMSE)."""
+    return relative_rmse(estimates, truths) ** 2
+
+
+def bias(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean signed error; near zero for an unbiased estimator."""
+    _validate_lengths(estimates, truths)
+    errors = np.asarray(estimates, dtype=np.float64) - np.asarray(truths, dtype=np.float64)
+    return float(np.mean(errors))
+
+
+def relative_bias(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean signed error divided by the mean truth."""
+    _validate_lengths(estimates, truths)
+    mean_truth = float(np.mean(np.asarray(truths, dtype=np.float64)))
+    if mean_truth == 0:
+        raise InvalidParameterError("relative bias is undefined for zero mean truth")
+    return bias(estimates, truths) / abs(mean_truth)
+
+
+def relative_efficiency(
+    baseline_estimates: Sequence[float],
+    candidate_estimates: Sequence[float],
+    truths: Sequence[float],
+) -> float:
+    """Ratio MSE(baseline) / MSE(candidate); > 1 means the candidate is better.
+
+    Figure 5's right panel reports Var(priority sampling)/Var(Unbiased Space
+    Saving); with unbiased estimators MSE and variance coincide, so this is
+    the same quantity.
+    """
+    baseline = mean_squared_error(baseline_estimates, truths)
+    candidate = mean_squared_error(candidate_estimates, truths)
+    if candidate == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / candidate
+
+
+def empirical_inclusion_probability(
+    inclusion_runs: Sequence[Dict], items: Sequence
+) -> Dict:
+    """Fraction of runs in which each item was retained by the sketch.
+
+    Parameters
+    ----------
+    inclusion_runs:
+        One mapping (or set) of retained items per independent run.
+    items:
+        The items whose inclusion probability should be reported.
+    """
+    if not inclusion_runs:
+        raise InvalidParameterError("at least one run is required")
+    probabilities = {}
+    for item in items:
+        hits = sum(1 for retained in inclusion_runs if item in retained)
+        probabilities[item] = hits / len(inclusion_runs)
+    return probabilities
+
+
+def binned_relative_error(
+    truths: Sequence[float],
+    estimates: Sequence[float],
+    *,
+    num_bins: int = 10,
+    log_bins: bool = False,
+) -> List[Tuple[float, float, int]]:
+    """Smoothed relative error versus true count (figures 3 and 4).
+
+    Observations are grouped into ``num_bins`` buckets of the true value
+    (linearly or logarithmically spaced) and the average relative absolute
+    error of each bucket is reported as ``(bucket_center, mean_relative_error,
+    bucket_size)``.
+    """
+    _validate_lengths(estimates, truths)
+    truths_array = np.asarray(truths, dtype=np.float64)
+    estimates_array = np.asarray(estimates, dtype=np.float64)
+    positive = truths_array > 0
+    truths_array = truths_array[positive]
+    estimates_array = estimates_array[positive]
+    if truths_array.size == 0:
+        raise InvalidParameterError("binned relative error needs positive truths")
+    if log_bins:
+        edges = np.logspace(
+            math.log10(truths_array.min()), math.log10(truths_array.max()), num_bins + 1
+        )
+    else:
+        edges = np.linspace(truths_array.min(), truths_array.max(), num_bins + 1)
+    edges[-1] = np.nextafter(edges[-1], np.inf)
+    relative_errors = np.abs(estimates_array - truths_array) / truths_array
+    results: List[Tuple[float, float, int]] = []
+    for index in range(num_bins):
+        mask = (truths_array >= edges[index]) & (truths_array < edges[index + 1])
+        size = int(mask.sum())
+        center = float((edges[index] + edges[index + 1]) / 2.0)
+        mean_error = float(relative_errors[mask].mean()) if size else 0.0
+        results.append((center, mean_error, size))
+    return results
+
+
+def quantiles(values: Sequence[float], points: Optional[Sequence[float]] = None) -> Dict[float, float]:
+    """Convenience quantile summary used by the reporting layer."""
+    if not values:
+        raise InvalidParameterError("quantiles of an empty collection are undefined")
+    points = points or (0.1, 0.25, 0.5, 0.75, 0.9)
+    array = np.asarray(values, dtype=np.float64)
+    return {point: float(np.quantile(array, point)) for point in points}

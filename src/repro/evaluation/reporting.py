@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the rows/series each paper figure reports; this module
+turns the row dictionaries the experiment classes emit into aligned text
+tables so the output of ``pytest benchmarks/ --benchmark-only`` is readable
+on its own and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_summary", "format_series"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-4):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    shown = list(rows[:max_rows]) if max_rows is not None else list(rows)
+    rendered = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in shown
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    footer = []
+    if max_rows is not None and len(rows) > max_rows:
+        footer.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join([header, separator, *body, *footer])
+
+
+def format_summary(summary: Mapping[str, float], *, precision: int = 4) -> str:
+    """Render a summary dictionary as ``key: value`` lines."""
+    if not summary:
+        return "(empty summary)"
+    width = max(len(str(key)) for key in summary)
+    return "\n".join(
+        f"{str(key).ljust(width)} : {_format_value(value, precision)}"
+        for key, value in summary.items()
+    )
+
+
+def format_series(
+    name: str, values: Iterable[float], *, precision: int = 4
+) -> str:
+    """Render one named numeric series on a single line."""
+    rendered = ", ".join(_format_value(float(value), precision) for value in values)
+    return f"{name}: [{rendered}]"
+
+
+def print_experiment(
+    title: str,
+    *,
+    summary: Optional[Mapping[str, float]] = None,
+    rows: Optional[Sequence[Mapping[str, object]]] = None,
+    series: Optional[Dict[str, List[float]]] = None,
+    max_rows: Optional[int] = 40,
+) -> None:
+    """Print one experiment's outputs with a title banner (used by benchmarks)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}")
+    if summary:
+        print(format_summary(summary))
+    if series:
+        for name, values in series.items():
+            print(format_series(name, values))
+    if rows:
+        print(format_table(rows, max_rows=max_rows))

@@ -1,0 +1,24 @@
+"""Frequent-item baselines: Misra-Gries, Lossy Counting, Sticky Sampling,
+CountMin, Count Sketch and hierarchical heavy hitters.
+
+These are the deterministic and hashing-based sketches the paper relates
+Unbiased Space Saving to (§3.2, §5.2-5.3): excellent at identifying frequent
+items, but biased (or unable to enumerate items), which is what prevents
+them from answering disaggregated subset sum queries.
+"""
+
+from repro.frequent.count_sketch import CountSketch
+from repro.frequent.countmin import CountMinSketch
+from repro.frequent.hierarchical import HierarchicalHeavyHitters
+from repro.frequent.lossy_counting import LossyCountingSketch
+from repro.frequent.misra_gries import MisraGriesSketch
+from repro.frequent.sticky_sampling import StickySamplingSketch
+
+__all__ = [
+    "CountSketch",
+    "CountMinSketch",
+    "HierarchicalHeavyHitters",
+    "LossyCountingSketch",
+    "MisraGriesSketch",
+    "StickySamplingSketch",
+]

@@ -1,0 +1,143 @@
+"""Lossy Counting (Manku & Motwani 2002).
+
+Lossy Counting divides the stream into buckets of width ``w = ceil(1/ε)``.
+Each retained entry stores its observed count plus the maximum possible
+undercount ``Δ`` (the bucket index when it was inserted); at every bucket
+boundary entries whose ``count + Δ`` no longer exceeds the bucket index are
+dropped.  Guarantees: every item with true frequency at least ``ε·N`` is
+retained, and estimates undercount by at most ``ε·N``.
+
+Unlike Misra-Gries / Space Saving, the number of retained counters is not
+hard-bounded by a constant ``m`` — the worst case is ``O((1/ε)·log(εN))`` —
+which the paper points out when comparing reduction operations (§5.2).  The
+sketch is included as one of the deterministic frequent-item baselines and,
+like the others, it is *biased*, making it unsuitable for disaggregated
+subset sum estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro._typing import Item
+from repro.core.base import FrequentItemSketch
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+
+__all__ = ["LossyCountingSketch"]
+
+
+class LossyCountingSketch(FrequentItemSketch):
+    """Lossy Counting with error parameter ``epsilon``.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum relative undercount; bucket width is ``ceil(1/epsilon)``.
+    capacity:
+        Optional *soft* capacity used only to report a comparable "size"
+        through the :class:`FrequentItemSketch` interface; by default it is
+        ``ceil(1/epsilon)``.  The sketch itself never enforces it — that is
+        the structural difference from Space Saving the paper highlights.
+
+    Example
+    -------
+    >>> sketch = LossyCountingSketch(epsilon=0.25)
+    >>> _ = sketch.update_stream(["a"] * 10 + ["b"] * 2)
+    >>> sketch.estimate("a") > 0
+    True
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        *,
+        capacity: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError("epsilon must lie in (0, 1)")
+        bucket_width = int(math.ceil(1.0 / epsilon))
+        super().__init__(capacity or bucket_width, seed=seed)
+        self._epsilon = epsilon
+        self._bucket_width = bucket_width
+        self._current_bucket = 1
+        # item -> (count, delta)
+        self._entries: Dict[Item, Tuple[int, int]] = {}
+
+    @property
+    def epsilon(self) -> float:
+        """The configured relative error bound."""
+        return self._epsilon
+
+    @property
+    def bucket_width(self) -> int:
+        """Number of rows per bucket, ``ceil(1/epsilon)``."""
+        return self._bucket_width
+
+    @property
+    def current_bucket(self) -> int:
+        """Index of the bucket currently being filled (1-based)."""
+        return self._current_bucket
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one unit row (Lossy Counting is defined for unit updates)."""
+        if weight != 1:
+            raise UnsupportedUpdateError("Lossy Counting supports unit-weight rows only")
+        self._record_update(1.0)
+        count, delta = self._entries.get(item, (0, self._current_bucket - 1))
+        self._entries[item] = (count + 1, delta)
+        if self._rows_processed % self._bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+
+    def _prune(self) -> None:
+        """Drop entries whose maximum possible count is at most the bucket index."""
+        bucket = self._current_bucket
+        self._entries = {
+            item: (count, delta)
+            for item, (count, delta) in self._entries.items()
+            if count + delta > bucket
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Observed (undercounted) frequency of ``item``; 0 when dropped."""
+        entry = self._entries.get(item)
+        return 0.0 if entry is None else float(entry[0])
+
+    def upper_bound(self, item: Item) -> float:
+        """Upper bound ``count + Δ`` on the item's true frequency."""
+        entry = self._entries.get(item)
+        return 0.0 if entry is None else float(entry[0] + entry[1])
+
+    def estimates(self) -> Dict[Item, float]:
+        return {item: float(count) for item, (count, _) in self._entries.items()}
+
+    def error_bound(self) -> float:
+        """Maximum undercount of any estimate: ``ε · N``."""
+        return self._epsilon * self._rows_processed
+
+    def frequent_items(self, support: float) -> Dict[Item, float]:
+        """Items whose true frequency may exceed ``support · N``.
+
+        Returns every retained item with observed count at least
+        ``(support − ε) · N`` — the standard Lossy Counting output rule,
+        which has no false negatives.
+        """
+        if not 0 < support <= 1:
+            raise InvalidParameterError("support must lie in (0, 1]")
+        threshold = (support - self._epsilon) * self._rows_processed
+        return {
+            item: float(count)
+            for item, (count, _) in self._entries.items()
+            if count >= threshold
+        }

@@ -1,0 +1,143 @@
+"""Sticky Sampling (Manku & Motwani 2002).
+
+Sticky Sampling is the randomized companion of Lossy Counting: items are
+admitted to the counter set by coin flips whose success probability halves
+as the stream grows, and at each rate change every retained counter is
+diminished by a geometric number of coin flips (simulating the counts it
+would have missed under the new, lower rate).  With probability ``1 − δ``
+every item of frequency at least ``ε·N`` is reported and undercounts are at
+most ``ε·N``.
+
+The paper mentions the sketch only to set it aside (worse practical
+performance and weaker guarantees than the alternatives); it is implemented
+here so the frequent-item baseline suite is complete and the comparison can
+be reproduced rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro._typing import Item
+from repro.core.base import FrequentItemSketch
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+
+__all__ = ["StickySamplingSketch"]
+
+
+class StickySamplingSketch(FrequentItemSketch):
+    """Sticky Sampling with support ``epsilon`` and failure probability ``delta``.
+
+    Parameters
+    ----------
+    epsilon:
+        Error / support parameter; counters track items of frequency ε·N.
+    delta:
+        Failure probability of the guarantee.
+    seed:
+        Seed for the admission and diminution coin flips.
+
+    Example
+    -------
+    >>> sketch = StickySamplingSketch(epsilon=0.1, delta=0.01, seed=5)
+    >>> _ = sketch.update_stream(["x"] * 50 + ["y"] * 3)
+    >>> sketch.estimate("x") > 0
+    True
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float = 0.01,
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError("epsilon must lie in (0, 1)")
+        if not 0 < delta < 1:
+            raise InvalidParameterError("delta must lie in (0, 1)")
+        # t = (1/ε)·log(1/(support·δ)) rows per sampling "window"; the classic
+        # presentation uses support = ε for the window size.
+        window = int(math.ceil((1.0 / epsilon) * math.log(1.0 / (epsilon * delta))))
+        super().__init__(max(1, window), seed=seed)
+        self._epsilon = epsilon
+        self._delta = delta
+        self._window = max(1, window)
+        self._sampling_rate = 1.0
+        self._next_rate_change = 2 * self._window
+        self._counters: Dict[Item, int] = {}
+
+    @property
+    def epsilon(self) -> float:
+        """The configured support/error parameter."""
+        return self._epsilon
+
+    @property
+    def delta(self) -> float:
+        """The configured failure probability."""
+        return self._delta
+
+    @property
+    def sampling_rate(self) -> float:
+        """Current admission probability ``1/r`` for unseen items."""
+        return self._sampling_rate
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Process one unit row."""
+        if weight != 1:
+            raise UnsupportedUpdateError("Sticky Sampling supports unit-weight rows only")
+        self._record_update(1.0)
+        if self._rows_processed > self._next_rate_change:
+            self._halve_rate()
+        if item in self._counters:
+            self._counters[item] += 1
+            return
+        if self._rng.random() < self._sampling_rate:
+            self._counters[item] = 1
+
+    def _halve_rate(self) -> None:
+        """Halve the sampling rate and diminish every counter accordingly.
+
+        For each retained counter a sequence of fair coin flips is tossed;
+        the counter loses one for every consecutive failure and the item is
+        dropped if the counter reaches zero — exactly the adjustment that
+        makes the retained state look as if the stream had been sampled at
+        the new rate from the start.
+        """
+        self._sampling_rate /= 2.0
+        self._next_rate_change *= 2
+        survivors: Dict[Item, int] = {}
+        for item, count in self._counters.items():
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                survivors[item] = count
+        self._counters = survivors
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Observed (undercounted) frequency of ``item``; 0 when absent."""
+        return float(self._counters.get(item, 0))
+
+    def estimates(self) -> Dict[Item, float]:
+        return {item: float(count) for item, count in self._counters.items()}
+
+    def frequent_items(self, support: float) -> Dict[Item, float]:
+        """Retained items whose count is at least ``(support − ε) · N``."""
+        if not 0 < support <= 1:
+            raise InvalidParameterError("support must lie in (0, 1]")
+        threshold = (support - self._epsilon) * self._rows_processed
+        return {
+            item: float(count)
+            for item, count in self._counters.items()
+            if count >= threshold
+        }

@@ -1,0 +1,40 @@
+"""Query layer: subset sums, marginals, filters and the SQL-ish engine."""
+
+from repro.query.engine import ExactQueryEngine, QueryResult, SketchQueryEngine
+from repro.query.filters import (
+    Filter,
+    everything,
+    field_equals,
+    field_in,
+    field_predicate,
+    in_set,
+    where,
+)
+from repro.query.marginals import (
+    MarginalCell,
+    marginal_cells,
+    one_way_marginal,
+    relative_mse_by_size,
+    two_way_marginal,
+)
+from repro.query.subset_sum import ExactAggregator, SubsetSumEstimator
+
+__all__ = [
+    "ExactQueryEngine",
+    "QueryResult",
+    "SketchQueryEngine",
+    "Filter",
+    "everything",
+    "field_equals",
+    "field_in",
+    "field_predicate",
+    "in_set",
+    "where",
+    "MarginalCell",
+    "marginal_cells",
+    "one_way_marginal",
+    "relative_mse_by_size",
+    "two_way_marginal",
+    "ExactAggregator",
+    "SubsetSumEstimator",
+]

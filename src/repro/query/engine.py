@@ -1,0 +1,146 @@
+"""A small SQL-ish query façade over sketches.
+
+The paper frames the problem as answering
+
+.. code-block:: sql
+
+    SELECT sum(metric), dimensions
+    FROM table
+    WHERE filters
+    GROUP BY dimensions
+
+from a sketch instead of the raw table.  :class:`SketchQueryEngine` gives
+that shape a direct API: ``select_sum(where=..., group_by=...)`` returns
+either a single estimate (with uncertainty when available) or a per-group
+breakdown.  The engine is deliberately thin — all statistical work happens
+in the sketch — but it is the integration point the examples and the
+marginal benchmarks use, and pairing it with :class:`ExactQueryEngine`
+makes end-to-end accuracy tests read like the SQL they emulate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro._typing import Item, ItemPredicate
+from repro.core.variance import EstimateWithError
+from repro.query.subset_sum import ExactAggregator, SubsetSumEstimator
+
+__all__ = ["QueryResult", "SketchQueryEngine", "ExactQueryEngine"]
+
+GroupKey = Callable[[Item], Item]
+
+
+class QueryResult:
+    """Result of a ``select_sum`` call.
+
+    Holds either a scalar estimate (no ``group_by``) or per-group estimates,
+    always with an :class:`EstimateWithError` when the source provides
+    variance information.
+    """
+
+    def __init__(
+        self,
+        scalar: Optional[EstimateWithError] = None,
+        groups: Optional[Dict[Item, float]] = None,
+    ) -> None:
+        self._scalar = scalar
+        self._groups = groups
+
+    @property
+    def is_grouped(self) -> bool:
+        """Whether the result carries per-group totals."""
+        return self._groups is not None
+
+    @property
+    def value(self) -> float:
+        """The scalar estimate (raises for grouped results)."""
+        if self._scalar is None:
+            raise ValueError("grouped results have no scalar value; use .groups")
+        return self._scalar.estimate
+
+    @property
+    def with_error(self) -> EstimateWithError:
+        """The scalar estimate with its variance (raises for grouped results)."""
+        if self._scalar is None:
+            raise ValueError("grouped results have no scalar value; use .groups")
+        return self._scalar
+
+    @property
+    def groups(self) -> Dict[Item, float]:
+        """Per-group estimates (raises for scalar results)."""
+        if self._groups is None:
+            raise ValueError("scalar results have no groups; use .value")
+        return dict(self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._groups is not None:
+            return f"QueryResult(groups={len(self._groups)})"
+        return f"QueryResult(value={self._scalar.estimate:.6g})"
+
+
+class SketchQueryEngine:
+    """SELECT-sum/WHERE/GROUP-BY interface over any sketch or sample."""
+
+    def __init__(self, source) -> None:
+        self._estimator = SubsetSumEstimator(source)
+
+    def select_sum(
+        self,
+        *,
+        where: Optional[ItemPredicate] = None,
+        group_by: Optional[GroupKey] = None,
+    ) -> QueryResult:
+        """Run one aggregation query.
+
+        Parameters
+        ----------
+        where:
+            Optional filter predicate over item keys; ``None`` keeps everything.
+        group_by:
+            Optional key function; when given, the result contains one total
+            per group value.
+        """
+        predicate = where if where is not None else (lambda item: True)
+        if group_by is None:
+            return QueryResult(scalar=self._estimator.subset_sum_with_error(predicate))
+        return QueryResult(
+            groups=self._estimator.filtered_group_by(predicate, group_by)
+        )
+
+    def total(self) -> float:
+        """Grand total estimate."""
+        return self._estimator.total()
+
+
+class ExactQueryEngine:
+    """The same query interface evaluated exactly from true counts."""
+
+    def __init__(self, counts: Union[Dict[Item, float], ExactAggregator]) -> None:
+        if isinstance(counts, ExactAggregator):
+            self._aggregator = counts
+        else:
+            self._aggregator = ExactAggregator(counts)
+
+    def select_sum(
+        self,
+        *,
+        where: Optional[ItemPredicate] = None,
+        group_by: Optional[GroupKey] = None,
+    ) -> QueryResult:
+        """Run one aggregation query against the exact counts."""
+        predicate = where if where is not None else (lambda item: True)
+        if group_by is None:
+            value = self._aggregator.subset_sum(predicate)
+            return QueryResult(scalar=EstimateWithError(estimate=value, variance=0.0))
+        grouped: Dict[Item, float] = {}
+        for item, count in self._aggregator.counts().items():
+            if not predicate(item):
+                continue
+            key = group_by(item)
+            grouped[key] = grouped.get(key, 0.0) + count
+        return QueryResult(groups=grouped)
+
+    def total(self) -> float:
+        """Exact grand total."""
+        return self._aggregator.total()

@@ -1,0 +1,97 @@
+"""Composable item filters for subset sum queries.
+
+The disaggregated subset sum problem allows *arbitrary* filter conditions at
+or above the unit of analysis (§3).  A filter here is just a predicate over
+item keys, but building predicates by hand for composite keys (feature
+tuples, hierarchical paths) is noisy, so this module provides a tiny
+combinator library:
+
+>>> from repro.query.filters import field_equals, field_in
+>>> keep = field_equals(0, 3) & ~field_in(2, {7, 9})
+>>> keep((3, 1, 5))
+True
+>>> keep((3, 1, 7))
+False
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Iterable
+
+from repro._typing import Item, ItemPredicate
+
+__all__ = [
+    "Filter",
+    "where",
+    "everything",
+    "in_set",
+    "field_equals",
+    "field_in",
+    "field_predicate",
+]
+
+
+class Filter:
+    """A predicate over items supporting ``&``, ``|`` and ``~`` composition."""
+
+    def __init__(self, predicate: ItemPredicate, description: str = "filter") -> None:
+        self._predicate = predicate
+        self._description = description
+
+    def __call__(self, item: Item) -> bool:
+        return bool(self._predicate(item))
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return Filter(
+            lambda item: self(item) and other(item),
+            f"({self._description} AND {other._description})",
+        )
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Filter(
+            lambda item: self(item) or other(item),
+            f"({self._description} OR {other._description})",
+        )
+
+    def __invert__(self) -> "Filter":
+        return Filter(lambda item: not self(item), f"(NOT {self._description})")
+
+    @property
+    def description(self) -> str:
+        """Human-readable description used in reports."""
+        return self._description
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Filter({self._description})"
+
+
+def where(predicate: ItemPredicate, description: str = "custom") -> Filter:
+    """Wrap an arbitrary predicate function as a :class:`Filter`."""
+    return Filter(predicate, description)
+
+
+def everything() -> Filter:
+    """The always-true filter (grand totals)."""
+    return Filter(lambda item: True, "TRUE")
+
+
+def in_set(items: Iterable[Item], description: str = "in-set") -> Filter:
+    """Membership filter over an explicit collection of items."""
+    membership = set(items)
+    return Filter(lambda item: item in membership, f"{description}[{len(membership)}]")
+
+
+def field_equals(index: int, value) -> Filter:
+    """For tuple-keyed items: ``item[index] == value``."""
+    return Filter(lambda item: item[index] == value, f"field[{index}] == {value!r}")
+
+
+def field_in(index: int, values: Collection) -> Filter:
+    """For tuple-keyed items: ``item[index] in values``."""
+    allowed = set(values)
+    return Filter(lambda item: item[index] in allowed, f"field[{index}] in {sorted(map(repr, allowed))[:4]}")
+
+
+def field_predicate(index: int, predicate: Callable[[object], bool], description: str = "pred") -> Filter:
+    """For tuple-keyed items: apply ``predicate`` to one component."""
+    return Filter(lambda item: predicate(item[index]), f"field[{index}] {description}")

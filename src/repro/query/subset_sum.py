@@ -1,0 +1,151 @@
+"""Design-agnostic subset sum estimation.
+
+The evaluation harness compares several very different estimators — the
+Unbiased Space Saving sketch, priority samples, bottom-k samples, sample-and-
+hold sketches, even the biased Deterministic Space Saving — on the same
+queries.  :class:`SubsetSumEstimator` adapts anything that exposes
+``estimates()`` (an ``item -> estimate`` mapping) to a uniform query
+interface, using the richer ``subset_sum_with_error`` when the underlying
+object provides one, and :class:`ExactAggregator` provides the ground truth
+from raw counts for error measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro._typing import Item, ItemPredicate
+from repro.core.variance import EstimateWithError
+from repro.errors import InvalidParameterError
+
+__all__ = ["SubsetSumEstimator", "ExactAggregator"]
+
+
+class SubsetSumEstimator:
+    """Uniform subset-sum interface over any sketch or sample.
+
+    Parameters
+    ----------
+    source:
+        Any object with an ``estimates() -> Mapping[item, float]`` method
+        (all sketches and samples in this package qualify), or a plain
+        mapping of estimates.
+
+    Example
+    -------
+    >>> estimator = SubsetSumEstimator({"a": 3.0, "b": 2.0})
+    >>> estimator.subset_sum(lambda item: item == "a")
+    3.0
+    """
+
+    def __init__(self, source) -> None:
+        self._source = source
+
+    def _estimates(self) -> Mapping[Item, float]:
+        if isinstance(self._source, Mapping):
+            return self._source
+        estimates = getattr(self._source, "estimates", None)
+        if estimates is None:
+            raise InvalidParameterError(
+                "source must be a mapping or expose an estimates() method"
+            )
+        return estimates()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Point estimate of the subset sum under ``predicate``."""
+        return float(
+            sum(value for item, value in self._estimates().items() if predicate(item))
+        )
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum with uncertainty when the source can provide it.
+
+        Falls back to a zero-variance :class:`EstimateWithError` for sources
+        without their own error model (e.g. exact mappings).
+        """
+        with_error = getattr(self._source, "subset_sum_with_error", None)
+        if callable(with_error):
+            return with_error(predicate)
+        return EstimateWithError(estimate=self.subset_sum(predicate), variance=0.0)
+
+    def total(self) -> float:
+        """Estimate of the grand total."""
+        return self.subset_sum(lambda item: True)
+
+    def group_by(self, key: Callable[[Item], Item]) -> Dict[Item, float]:
+        """Group the retained estimates by an arbitrary key function."""
+        grouped: Dict[Item, float] = {}
+        for item, value in self._estimates().items():
+            group = key(item)
+            grouped[group] = grouped.get(group, 0.0) + value
+        return grouped
+
+    def filtered_group_by(
+        self, predicate: ItemPredicate, key: Callable[[Item], Item]
+    ) -> Dict[Item, float]:
+        """Group-by restricted to items matching ``predicate``."""
+        grouped: Dict[Item, float] = {}
+        for item, value in self._estimates().items():
+            if not predicate(item):
+                continue
+            group = key(item)
+            grouped[group] = grouped.get(group, 0.0) + value
+        return grouped
+
+
+class ExactAggregator:
+    """Exact answers computed from true per-item counts (the ground truth).
+
+    Parameters
+    ----------
+    counts:
+        The true ``item -> count`` mapping (from a
+        :class:`~repro.streams.frequency.FrequencyModel`, an
+        :class:`~repro.streams.adclick.AdClickDataset`, or any exact
+        aggregation of the raw rows).
+    """
+
+    def __init__(self, counts: Mapping[Item, float]) -> None:
+        self._counts = dict(counts)
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Exact subset sum."""
+        return float(
+            sum(value for item, value in self._counts.items() if predicate(item))
+        )
+
+    def total(self) -> float:
+        """Exact grand total."""
+        return float(sum(self._counts.values()))
+
+    def group_by(self, key: Callable[[Item], Item]) -> Dict[Item, float]:
+        """Exact group-by totals."""
+        grouped: Dict[Item, float] = {}
+        for item, value in self._counts.items():
+            group = key(item)
+            grouped[group] = grouped.get(group, 0.0) + value
+        return grouped
+
+    def count(self, item: Item) -> float:
+        """Exact count of a single item."""
+        return float(self._counts.get(item, 0.0))
+
+    def counts(self) -> Dict[Item, float]:
+        """A copy of the exact counts."""
+        return dict(self._counts)
+
+    def relative_error(
+        self, predicate: ItemPredicate, estimate: float
+    ) -> Optional[float]:
+        """Relative error of an estimate against the exact subset sum.
+
+        Returns ``None`` when the exact subset sum is zero (relative error is
+        undefined there).
+        """
+        truth = self.subset_sum(predicate)
+        if truth == 0:
+            return None
+        return abs(estimate - truth) / truth

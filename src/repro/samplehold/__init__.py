@@ -1,0 +1,18 @@
+"""Sample-and-Hold family: the prior state of the art for disaggregated subset sums.
+
+These sketches (Gibbons & Matias 1998; Estan & Varghese 2003; Cohen et al.
+2007) answer the same disaggregated subset sum problem as Unbiased Space
+Saving.  §5.4 of the paper analyses them as randomized reduction operations
+and shows they inject strictly more noise per reduction than Unbiased Space
+Saving — the claim the benchmark suite makes measurable.
+"""
+
+from repro.samplehold.adaptive import AdaptiveSampleAndHold
+from repro.samplehold.counting_samples import CountingSampleSketch
+from repro.samplehold.step import StepSampleAndHold
+
+__all__ = [
+    "AdaptiveSampleAndHold",
+    "CountingSampleSketch",
+    "StepSampleAndHold",
+]

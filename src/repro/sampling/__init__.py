@@ -1,0 +1,40 @@
+"""Sampling substrates: PPS, priority, bottom-k, reservoir, VarOpt, Horvitz-Thompson.
+
+These are the sampling designs the paper builds on (§5.1) and compares
+against (§7).  They all expose their results as
+:class:`~repro.sampling.horvitz_thompson.WeightedSample` objects so the query
+and evaluation layers can treat every design uniformly.
+"""
+
+from repro.sampling.bottom_k import BottomKSketch, stable_rank
+from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
+from repro.sampling.pps import (
+    expected_sample_size,
+    inclusion_probabilities,
+    poisson_pps_sample,
+    pps_threshold,
+    splitting_pps_sample,
+    systematic_pps_sample,
+)
+from repro.sampling.priority import PrioritySample, StreamingPrioritySampler
+from repro.sampling.reservoir import ReservoirSampler, SingleItemReservoir
+from repro.sampling.varopt import varopt_reduce, varopt_sample
+
+__all__ = [
+    "BottomKSketch",
+    "stable_rank",
+    "SampledItem",
+    "WeightedSample",
+    "expected_sample_size",
+    "inclusion_probabilities",
+    "poisson_pps_sample",
+    "pps_threshold",
+    "splitting_pps_sample",
+    "systematic_pps_sample",
+    "PrioritySample",
+    "StreamingPrioritySampler",
+    "ReservoirSampler",
+    "SingleItemReservoir",
+    "varopt_reduce",
+    "varopt_sample",
+]

@@ -1,0 +1,129 @@
+"""Reservoir sampling.
+
+Two reservoir samplers are provided:
+
+* :class:`SingleItemReservoir` — a size-1 reservoir.  The paper's analysis
+  (§6.2) observes that the label of each Space Saving bin is exactly a size-1
+  reservoir sample of the rows routed to that bin, which is why the tail
+  bins' labels end up distributed proportionally to item frequency.  Having
+  the primitive as its own tested class both documents that connection and
+  lets the property tests exercise it directly.
+* :class:`ReservoirSampler` — the classic Algorithm R size-``k`` uniform row
+  sample, used as the "uniform row sampling" reference design in a few
+  ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Generic, Iterable, List, Optional, TypeVar
+
+from repro._typing import Item, ItemPredicate
+from repro.errors import InvalidParameterError
+
+__all__ = ["SingleItemReservoir", "ReservoirSampler"]
+
+T = TypeVar("T")
+
+
+class SingleItemReservoir(Generic[T]):
+    """Size-1 reservoir: each offered row ends up selected with equal probability.
+
+    After ``n`` calls to :meth:`offer`, each row has probability ``1/n`` of
+    being the retained value — the mechanism by which a Space Saving bin's
+    label becomes a uniform draw from the rows that hit the bin.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+        self._value: Optional[T] = None
+        self._offers = 0
+
+    @property
+    def offers(self) -> int:
+        """How many rows have been offered."""
+        return self._offers
+
+    @property
+    def value(self) -> Optional[T]:
+        """The currently retained row (``None`` before the first offer)."""
+        return self._value
+
+    def offer(self, row: T) -> bool:
+        """Offer one row; returns ``True`` when the row was retained."""
+        self._offers += 1
+        if self._rng.random() * self._offers < 1.0:
+            self._value = row
+            return True
+        return False
+
+
+class ReservoirSampler(Generic[T]):
+    """Uniform without-replacement sample of ``k`` rows (Algorithm R).
+
+    Every row of the stream has an equal chance ``k / n`` of appearing in the
+    final sample.  For the disaggregated subset sum problem this corresponds
+    to uniform *row* sampling: the per-item estimate scales the sampled row
+    count by ``n / k``.
+    """
+
+    def __init__(self, capacity: int, *, seed: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise InvalidParameterError("capacity must be a positive integer")
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+        self._reservoir: List[T] = []
+        self._rows_processed = 0
+
+    @property
+    def capacity(self) -> int:
+        """The sample size ``k``."""
+        return self._capacity
+
+    @property
+    def rows_processed(self) -> int:
+        """Number of rows offered so far."""
+        return self._rows_processed
+
+    def offer(self, row: T) -> None:
+        """Offer one row to the reservoir."""
+        self._rows_processed += 1
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(row)
+            return
+        position = self._rng.randrange(self._rows_processed)
+        if position < self._capacity:
+            self._reservoir[position] = row
+
+    def extend(self, rows: Iterable[T]) -> "ReservoirSampler":
+        """Offer every row from an iterable."""
+        for row in rows:
+            self.offer(row)
+        return self
+
+    def sample(self) -> List[T]:
+        """The current reservoir contents (a uniform sample of offered rows)."""
+        return list(self._reservoir)
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+    # -- disaggregated estimation helpers ---------------------------------
+    def scale_factor(self) -> float:
+        """Expansion factor ``n / k`` applied to sampled row counts."""
+        if not self._reservoir:
+            return 0.0
+        return self._rows_processed / len(self._reservoir)
+
+    def item_estimates(self) -> Dict[Item, float]:
+        """Estimated per-item row counts from the uniform row sample."""
+        counts = Counter(self._reservoir)
+        scale = self.scale_factor()
+        return {item: count * scale for item, count in counts.items()}
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Estimate of the number of rows whose item matches ``predicate``."""
+        return float(
+            sum(value for item, value in self.item_estimates().items() if predicate(item))
+        )

@@ -1,0 +1,91 @@
+"""VarOpt-style fixed-size unbiased weighted sampling.
+
+VarOpt (Cohen, Duffield, Kaplan, Lund, Thorup) draws a *fixed-size* sample
+of weighted items that is unbiased for every subset sum and has optimal
+average variance.  The batch form implemented here is the reduction engine
+offered as an alternative to Poisson/priority reduction in the unbiased
+merge operation (§5.5 of the paper): given more than ``k`` weighted bins it
+returns exactly ``k`` bins whose adjusted weights preserve all expectations.
+
+The construction mirrors thresholded PPS sampling: a threshold ``τ`` is
+chosen so that items above it are kept exactly (inclusion probability 1) and
+items below it are kept with probability ``w_i / τ``; the number of kept
+small items is made *exactly* equal to the remaining budget by using
+systematic sampling over the small items' probabilities, and every kept
+small item is assigned the adjusted weight ``τ``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro._typing import Item
+from repro.errors import InvalidParameterError
+from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
+from repro.sampling.pps import inclusion_probabilities, pps_threshold
+
+__all__ = ["varopt_sample", "varopt_reduce"]
+
+
+def varopt_sample(
+    weights: Dict[Item, float],
+    sample_size: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> WeightedSample:
+    """Draw a fixed-size unbiased sample of ``sample_size`` weighted items.
+
+    Items with weight above the PPS threshold are kept with their exact
+    weight; the remaining slots are filled from the small items by
+    systematic sampling on their inclusion probabilities, each kept small
+    item receiving the adjusted weight ``τ``.
+    """
+    if sample_size < 1:
+        raise InvalidParameterError("sample_size must be at least 1")
+    rng = rng or random.Random()
+    positive = {item: w for item, w in weights.items() if w > 0}
+    if len(positive) <= sample_size:
+        sample = WeightedSample()
+        for item, weight in positive.items():
+            sample.add(SampledItem(item, weight, 1.0))
+        return sample
+    tau = pps_threshold(positive, sample_size)
+    probabilities = inclusion_probabilities(positive, sample_size)
+    certain = {item: w for item, w in positive.items() if probabilities[item] >= 1.0}
+    small = {item: w for item, w in positive.items() if probabilities[item] < 1.0}
+    sample = WeightedSample()
+    for item, weight in certain.items():
+        sample.add(SampledItem(item, weight, 1.0))
+    # Systematic sampling over the small items gives exactly the residual
+    # budget in expectation and (up to the integrality of the probabilities)
+    # in realization, while preserving each marginal probability.
+    order = list(small)
+    rng.shuffle(order)
+    start = rng.random()
+    cumulative = 0.0
+    next_tick = start
+    for item in order:
+        pi = probabilities[item]
+        cumulative += pi
+        if next_tick < cumulative - 1e-12:
+            # Kept small items carry the Horvitz-Thompson adjusted weight τ.
+            sample.add(SampledItem(item, small[item], pi))
+            next_tick += 1.0
+    del tau  # τ is implicit in the probabilities; kept for readability above.
+    return sample
+
+
+def varopt_reduce(
+    weights: Dict[Item, float],
+    sample_size: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> Dict[Item, float]:
+    """Reduce a weight map to at most ``sample_size`` entries, unbiasedly.
+
+    Returns the adjusted weights (``w_i`` for certainty items, ``τ`` for
+    retained small items) — the form the unbiased merge operation needs.
+    """
+    sample = varopt_sample(weights, sample_size, rng=rng)
+    return {sampled.item: sampled.adjusted_value for sampled in sample}

@@ -1,0 +1,61 @@
+"""Stream substrates: frequency models, row generators, pathological orderings,
+epoch partitions, and the synthetic ad-click dataset.
+
+Everything the paper's experiments consume as input lives here, with exact
+ground truth available alongside every generated stream so that estimation
+error can be measured without a second pass over the data.
+"""
+
+from repro.streams.adclick import (
+    AdClickDataset,
+    AdFeatureSpec,
+    default_criteo_like_features,
+)
+from repro.streams.epochs import EpochPartition
+from repro.streams.frequency import (
+    FrequencyModel,
+    geometric_counts,
+    uniform_counts,
+    weibull_counts,
+    zipf_counts,
+)
+from repro.streams.generators import (
+    concatenate_streams,
+    deterministic_round_robin_stream,
+    exchangeable_stream,
+    iid_stream,
+    iterate_rows,
+    rows_from_counts,
+    stream_length,
+)
+from repro.streams.pathological import (
+    adversarial_theorem11_stream,
+    all_distinct_stream,
+    periodic_burst_stream,
+    sorted_stream,
+    two_half_stream,
+)
+
+__all__ = [
+    "AdClickDataset",
+    "AdFeatureSpec",
+    "default_criteo_like_features",
+    "EpochPartition",
+    "FrequencyModel",
+    "geometric_counts",
+    "uniform_counts",
+    "weibull_counts",
+    "zipf_counts",
+    "concatenate_streams",
+    "deterministic_round_robin_stream",
+    "exchangeable_stream",
+    "iid_stream",
+    "iterate_rows",
+    "rows_from_counts",
+    "stream_length",
+    "adversarial_theorem11_stream",
+    "all_distinct_stream",
+    "periodic_burst_stream",
+    "sorted_stream",
+    "two_half_stream",
+]

@@ -1,0 +1,108 @@
+"""Epoch partitioning of an item universe (figures 8-10).
+
+The sorted-stream experiments of §7.1 split the distinct items into ten
+*epochs* of equal size (by item index in the sorted-by-frequency order) and
+query the total count of each epoch.  Because the stream is sorted
+ascending, the epochs also correspond to contiguous time ranges of the
+stream, which is what makes the ordering pathological: early epochs consist
+entirely of rows that arrived long before the sketch's tail stabilized.
+
+:class:`EpochPartition` owns the mapping from item to epoch, the exact
+per-epoch totals, and the per-epoch membership predicates the query layer
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro._typing import Item, ItemPredicate
+from repro.errors import InvalidParameterError
+from repro.streams.frequency import FrequencyModel
+
+__all__ = ["EpochPartition"]
+
+
+class EpochPartition:
+    """Partition of a frequency model's items into contiguous epochs.
+
+    Parameters
+    ----------
+    model:
+        The frequency model whose items are partitioned.
+    num_epochs:
+        Number of (approximately equal-sized) epochs.
+    ascending:
+        Partition in ascending-frequency order (the paper's choice for the
+        sorted-stream experiments) or descending order.
+    """
+
+    def __init__(
+        self, model: FrequencyModel, num_epochs: int, *, ascending: bool = True
+    ) -> None:
+        if num_epochs < 1:
+            raise InvalidParameterError("num_epochs must be positive")
+        if num_epochs > model.num_items:
+            raise InvalidParameterError(
+                "cannot split {0} items into {1} epochs".format(model.num_items, num_epochs)
+            )
+        self._model = model
+        self._num_epochs = num_epochs
+        ordered = [item for item, _ in model.sorted_items(ascending=ascending)]
+        self._epoch_of: Dict[Item, int] = {}
+        self._members: List[List[Item]] = [[] for _ in range(num_epochs)]
+        for position, item in enumerate(ordered):
+            epoch = min(num_epochs - 1, position * num_epochs // len(ordered))
+            self._epoch_of[item] = epoch
+            self._members[epoch].append(item)
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of epochs."""
+        return self._num_epochs
+
+    @property
+    def model(self) -> FrequencyModel:
+        """The underlying frequency model."""
+        return self._model
+
+    def epoch_of(self, item: Item) -> int:
+        """Epoch index of an item.
+
+        Raises
+        ------
+        KeyError
+            If the item is not part of the partitioned model.
+        """
+        return self._epoch_of[item]
+
+    def members(self, epoch: int) -> Sequence[Item]:
+        """Items belonging to one epoch."""
+        return list(self._members[epoch])
+
+    def predicate(self, epoch: int) -> ItemPredicate:
+        """Membership predicate for one epoch, usable as a subset-sum filter."""
+        if not 0 <= epoch < self._num_epochs:
+            raise InvalidParameterError(f"epoch must be in [0, {self._num_epochs})")
+        membership = set(self._members[epoch])
+        return lambda item: item in membership
+
+    def predicates(self) -> List[ItemPredicate]:
+        """Membership predicates for every epoch, in order."""
+        return [self.predicate(epoch) for epoch in range(self._num_epochs)]
+
+    def true_total(self, epoch: int) -> int:
+        """Exact total count of one epoch's items."""
+        return self._model.subset_total(self._members[epoch])
+
+    def true_totals(self) -> List[int]:
+        """Exact totals for every epoch, in order."""
+        return [self.true_total(epoch) for epoch in range(self._num_epochs)]
+
+    def epoch_sizes(self) -> List[int]:
+        """Number of distinct items in each epoch."""
+        return [len(members) for members in self._members]
+
+    def group_key(self) -> Callable[[Item], int]:
+        """A group-by key function mapping each item to its epoch index."""
+        return lambda item: self._epoch_of[item]

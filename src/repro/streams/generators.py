@@ -1,0 +1,171 @@
+"""Row-stream generators: turn frequency models into disaggregated streams.
+
+A *stream* here is simply a sequence of item labels, one per raw row, in a
+particular arrival order.  The order is what separates the friendly i.i.d.
+case (§6.1-6.2) from the pathological cases (§6.3): the counts are the same,
+only the arrangement changes.  Exchangeable streams (uniformly random
+permutations of the rows) are the finite-sample analogue of i.i.d. draws the
+paper's experiments use.
+
+For speed the generators produce numpy integer arrays when the item labels
+are integers, falling back to Python lists otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._typing import Item
+from repro.errors import InvalidParameterError
+from repro.streams.frequency import FrequencyModel
+
+__all__ = [
+    "rows_from_counts",
+    "exchangeable_stream",
+    "iid_stream",
+    "deterministic_round_robin_stream",
+    "concatenate_streams",
+]
+
+Stream = Union[np.ndarray, List[Item]]
+
+
+def _expand_counts(model: FrequencyModel) -> Stream:
+    """One row per occurrence, grouped by item in model order."""
+    labels = model.items()
+    counts = [model.count(label) for label in labels]
+    if all(isinstance(label, (int, np.integer)) for label in labels):
+        return np.repeat(np.asarray(labels, dtype=np.int64), counts)
+    expanded: List[Item] = []
+    for label, count in zip(labels, counts):
+        expanded.extend([label] * count)
+    return expanded
+
+
+def rows_from_counts(
+    model: FrequencyModel,
+    *,
+    order: str = "shuffled",
+    rng: Optional[np.random.Generator] = None,
+) -> Stream:
+    """Materialize the disaggregated rows of a frequency model.
+
+    Parameters
+    ----------
+    model:
+        The per-item counts to expand.
+    order:
+        ``"shuffled"`` — uniformly random permutation (exchangeable stream);
+        ``"sorted_ascending"`` / ``"sorted_descending"`` — rows grouped by
+        item, items ordered by count (the pathological sorted streams of
+        §7.1); ``"grouped"`` — rows grouped by item in model order.
+    rng:
+        Numpy generator used for shuffling.
+    """
+    rows = _expand_counts(model)
+    if order == "grouped":
+        return rows
+    if order == "shuffled":
+        rng = rng or np.random.default_rng()
+        if isinstance(rows, np.ndarray):
+            return rng.permutation(rows)
+        shuffled = list(rows)
+        # numpy's shuffle works in-place on lists of objects as well.
+        rng.shuffle(shuffled)
+        return shuffled
+    if order in ("sorted_ascending", "sorted_descending"):
+        ascending = order == "sorted_ascending"
+        ordered_items = model.sorted_items(ascending=ascending)
+        if all(isinstance(label, (int, np.integer)) for label, _ in ordered_items):
+            labels = np.asarray([label for label, _ in ordered_items], dtype=np.int64)
+            counts = [count for _, count in ordered_items]
+            return np.repeat(labels, counts)
+        expanded: List[Item] = []
+        for label, count in ordered_items:
+            expanded.extend([label] * count)
+        return expanded
+    raise InvalidParameterError(
+        f"unknown order {order!r}; expected 'shuffled', 'grouped', "
+        "'sorted_ascending' or 'sorted_descending'"
+    )
+
+
+def exchangeable_stream(
+    model: FrequencyModel, *, rng: Optional[np.random.Generator] = None
+) -> Stream:
+    """A uniformly random permutation of the model's rows.
+
+    By de Finetti's theorem (as the paper notes) this is the finite analogue
+    of an i.i.d. stream with the model's relative frequencies.
+    """
+    return rows_from_counts(model, order="shuffled", rng=rng)
+
+
+def iid_stream(
+    model: FrequencyModel,
+    num_rows: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Stream:
+    """Draw ``num_rows`` i.i.d. rows with probabilities proportional to the counts."""
+    if num_rows < 0:
+        raise InvalidParameterError("num_rows must be non-negative")
+    rng = rng or np.random.default_rng()
+    labels = model.items()
+    counts = np.asarray([model.count(label) for label in labels], dtype=np.float64)
+    if counts.sum() <= 0:
+        raise InvalidParameterError("the frequency model has no rows to draw from")
+    probabilities = counts / counts.sum()
+    indices = rng.choice(len(labels), size=num_rows, p=probabilities)
+    if all(isinstance(label, (int, np.integer)) for label in labels):
+        label_array = np.asarray(labels, dtype=np.int64)
+        return label_array[indices]
+    return [labels[index] for index in indices]
+
+
+def deterministic_round_robin_stream(model: FrequencyModel) -> List[Item]:
+    """Interleave items round-robin until each item's count is exhausted.
+
+    A maximally "spread out" arrival order used by a few tests as a
+    non-random but also non-adversarial ordering.
+    """
+    remaining = {item: model.count(item) for item in model.items()}
+    rows: List[Item] = []
+    while remaining:
+        exhausted = []
+        for item in remaining:
+            rows.append(item)
+            remaining[item] -= 1
+            if remaining[item] == 0:
+                exhausted.append(item)
+        for item in exhausted:
+            del remaining[item]
+    return rows
+
+
+def concatenate_streams(*streams: Stream) -> Stream:
+    """Concatenate several streams preserving their internal order."""
+    if not streams:
+        return []
+    if all(isinstance(stream, np.ndarray) for stream in streams):
+        return np.concatenate(streams)
+    combined: List[Item] = []
+    for stream in streams:
+        combined.extend(list(stream))
+    return combined
+
+
+def stream_length(stream: Stream) -> int:
+    """Number of rows in a stream (works for arrays and lists alike)."""
+    return int(len(stream))
+
+
+def iterate_rows(stream: Stream) -> Iterator[Item]:
+    """Iterate over rows, converting numpy scalars to Python ints for hashing."""
+    if isinstance(stream, np.ndarray):
+        for value in stream:
+            yield int(value)
+    else:
+        yield from stream

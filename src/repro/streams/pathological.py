@@ -1,0 +1,180 @@
+"""Pathological and adversarial stream orderings (§6.3 and §6.6).
+
+Deterministic Space Saving behaves very differently depending on arrival
+order: on i.i.d. streams it is excellent, but any stream where item arrival
+rates change over time — partially sorted data, data partitioned by a key and
+processed partition by partition, periodic bursts — can make its subset sum
+estimates arbitrarily bad.  Unbiased Space Saving remains unbiased on all of
+them.  This module constructs the specific orderings the paper uses:
+
+* the two-half stream of figure 7 (two independent i.i.d. halves over
+  disjoint item ranges);
+* ascending / descending frequency-sorted streams (figures 8-10);
+* periodic-burst streams;
+* the all-distinct stream;
+* the adversarial sequence of Theorem 11 that zeroes out every Deterministic
+  Space Saving estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._typing import Item
+from repro.errors import InvalidParameterError
+from repro.streams.frequency import FrequencyModel
+from repro.streams.generators import Stream, concatenate_streams, rows_from_counts
+
+__all__ = [
+    "two_half_stream",
+    "sorted_stream",
+    "periodic_burst_stream",
+    "all_distinct_stream",
+    "adversarial_theorem11_stream",
+]
+
+
+def two_half_stream(
+    first_half: FrequencyModel,
+    second_half: FrequencyModel,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Stream, FrequencyModel]:
+    """Figure 7's pathological stream: two independent i.i.d. halves.
+
+    The first half contains only ``first_half``'s items and the second half
+    only ``second_half``'s; each half is internally shuffled.  The returned
+    frequency model is the union, which is the ground truth for queries over
+    the whole stream.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the two halves share item labels (the construction requires
+        disjoint supports so "items from the first half" is a well-defined
+        query).
+    """
+    overlap = set(first_half.counts) & set(second_half.counts)
+    if overlap:
+        raise InvalidParameterError(
+            f"the two halves must use disjoint item labels; shared: {sorted(map(repr, overlap))[:5]}"
+        )
+    rng = rng or np.random.default_rng()
+    first_rows = rows_from_counts(first_half, order="shuffled", rng=rng)
+    second_rows = rows_from_counts(second_half, order="shuffled", rng=rng)
+    combined_counts: Dict[Item, int] = dict(first_half.counts)
+    combined_counts.update(second_half.counts)
+    combined = FrequencyModel(
+        counts=combined_counts,
+        name=f"two-half({first_half.name} | {second_half.name})",
+    )
+    return concatenate_streams(first_rows, second_rows), combined
+
+
+def sorted_stream(model: FrequencyModel, *, ascending: bool = True) -> Stream:
+    """Rows grouped by item, items ordered by frequency.
+
+    Ascending order (rare items first, the most frequent item last) is the
+    worst case for Unbiased Space Saving studied in §7.1; descending order is
+    its best case (every frequent item is seen early and never displaced).
+    """
+    order = "sorted_ascending" if ascending else "sorted_descending"
+    return rows_from_counts(model, order=order)
+
+
+def periodic_burst_stream(
+    burst_item: Item,
+    burst_size: int,
+    num_bursts: int,
+    background: FrequencyModel,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[List[Item], FrequencyModel]:
+    """A stream where one item arrives in periodic bursts.
+
+    Between bursts the burst item is completely absent, so its arrival rate
+    oscillates above and below the guaranteed-inclusion threshold — the
+    "periodic bursts" pathology of §6.3.  Background rows are split evenly
+    between bursts.
+    """
+    if burst_size < 1 or num_bursts < 1:
+        raise InvalidParameterError("burst_size and num_bursts must be positive")
+    if burst_item in background.counts:
+        raise InvalidParameterError("burst_item must not appear in the background model")
+    rng = rng or np.random.default_rng()
+    background_rows = list(rows_from_counts(background, order="shuffled", rng=rng))
+    segment_length = max(1, len(background_rows) // num_bursts)
+    rows: List[Item] = []
+    for burst_index in range(num_bursts):
+        start = burst_index * segment_length
+        end = start + segment_length if burst_index < num_bursts - 1 else len(background_rows)
+        rows.extend(background_rows[start:end])
+        rows.extend([burst_item] * burst_size)
+    combined_counts: Dict[Item, int] = dict(background.counts)
+    combined_counts[burst_item] = burst_size * num_bursts
+    combined = FrequencyModel(
+        counts=combined_counts, name=f"periodic-burst({background.name})"
+    )
+    return rows, combined
+
+
+def all_distinct_stream(num_rows: int, *, label_offset: int = 0) -> Tuple[Stream, FrequencyModel]:
+    """Every row is a new item — the most extreme pathological sequence.
+
+    Deterministic Space Saving degenerates to "the last ``m`` items seen";
+    Unbiased Space Saving still returns an (approximately uniform) random
+    sample with correct expected counts.
+    """
+    if num_rows < 1:
+        raise InvalidParameterError("num_rows must be positive")
+    labels = np.arange(label_offset + 1, label_offset + num_rows + 1, dtype=np.int64)
+    model = FrequencyModel(
+        counts={int(label): 1 for label in labels}, name="all-distinct"
+    )
+    return labels, model
+
+
+def adversarial_theorem11_stream(
+    model: FrequencyModel,
+    num_bins: int,
+    *,
+    noise_label_offset: Optional[int] = None,
+) -> Tuple[List[Item], FrequencyModel]:
+    """The Theorem 11 adversarial sequence.
+
+    Appends ``n_tot`` distinct noise items after the real data (sorted most
+    frequent first), which forces every Deterministic Space Saving estimate
+    of the real items to zero provided each real count is below
+    ``2·n_tot/m``.  Unbiased Space Saving degrades gracefully — the noise
+    merely halves its effective sample size.
+
+    Returns the full row sequence and a frequency model over *all* items
+    (real and noise) for ground-truth queries.
+    """
+    if num_bins < 1:
+        raise InvalidParameterError("num_bins must be positive")
+    total = model.total
+    limit = 2 * total / num_bins
+    for item, count in model.counts.items():
+        if count >= limit:
+            raise InvalidParameterError(
+                f"item {item!r} has count {count} >= 2·n_tot/m = {limit:.1f}; "
+                "Theorem 11 requires all counts below that threshold"
+            )
+    if noise_label_offset is None:
+        numeric_labels = [
+            label for label in model.counts if isinstance(label, (int, np.integer))
+        ]
+        noise_label_offset = (max(numeric_labels) if numeric_labels else 0) + 1
+    rows: List[Item] = []
+    for item, count in model.sorted_items(ascending=False):
+        rows.extend([item] * count)
+    noise_labels = range(noise_label_offset, noise_label_offset + total)
+    rows.extend(noise_labels)
+    combined_counts: Dict[Item, int] = dict(model.counts)
+    for label in noise_labels:
+        combined_counts[label] = 1
+    combined = FrequencyModel(counts=combined_counts, name="theorem-11-adversarial")
+    return rows, combined

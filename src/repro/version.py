@@ -1,0 +1,3 @@
+"""Package version, kept in one place so docs and pyproject stay in sync."""
+
+__version__ = "1.0.0"

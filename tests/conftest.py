@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.streams.frequency import geometric_counts, scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream, iterate_rows
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded standard-library generator."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    """A seeded numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_skewed_model():
+    """A small but skewed frequency model (fast to stream in tests)."""
+    return scaled_weibull_counts(num_items=120, shape=0.4, target_total=6_000)
+
+
+@pytest.fixture
+def small_geometric_model():
+    """A small geometric frequency model."""
+    return geometric_counts(num_items=150, success_probability=0.05)
+
+
+@pytest.fixture
+def small_stream(small_skewed_model, np_rng):
+    """A shuffled (exchangeable) stream of the small skewed model."""
+    return list(iterate_rows(exchangeable_stream(small_skewed_model, rng=np_rng)))

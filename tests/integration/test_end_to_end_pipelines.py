@@ -1,0 +1,180 @@
+"""Integration tests: full pipelines from stream generation to query answers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deterministic_space_saving import DeterministicSpaceSaving
+from repro.core.merge import merge_unbiased
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.mapreduce import DistributedSubsetSum
+from repro.query.engine import ExactQueryEngine, SketchQueryEngine
+from repro.query.filters import field_equals, in_set
+from repro.query.marginals import marginal_cells, one_way_marginal
+from repro.query.subset_sum import ExactAggregator
+from repro.streams.adclick import AdClickDataset
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream, iterate_rows
+from repro.streams.pathological import adversarial_theorem11_stream, sorted_stream
+
+
+class TestSubsetSumPipeline:
+    def test_sketch_answers_filtered_sums_within_ci(self, small_skewed_model, np_rng):
+        stream = exchangeable_stream(small_skewed_model, rng=np_rng)
+        sketch = UnbiasedSpaceSaving(capacity=60, seed=0)
+        for row in iterate_rows(stream):
+            sketch.update(row)
+        exact = ExactAggregator(small_skewed_model.counts)
+        # Query the heavy half of the item universe; the sketch keeps most of
+        # those items exactly, so the estimate must be close.
+        heavy_items = {item for item, _ in small_skewed_model.sorted_items()[:30]}
+        predicate = in_set(heavy_items)
+        estimate = sketch.subset_sum(predicate)
+        truth = exact.subset_sum(predicate)
+        assert estimate == pytest.approx(truth, rel=0.1)
+        low, high = sketch.subset_sum_confidence_interval(predicate, confidence=0.999)
+        assert low <= truth <= high
+
+    def test_query_engine_matches_direct_sketch_queries(self, small_stream):
+        sketch = UnbiasedSpaceSaving(capacity=50, seed=1)
+        for row in small_stream:
+            sketch.update(row)
+        engine = SketchQueryEngine(sketch)
+        predicate = lambda item: item % 2 == 0  # noqa: E731
+        assert engine.select_sum(where=predicate).value == pytest.approx(
+            sketch.subset_sum(predicate)
+        )
+        assert engine.total() == pytest.approx(sketch.total_estimate())
+
+    def test_exact_engine_is_reference_for_sketch_engine(self, small_skewed_model, small_stream):
+        sketch = UnbiasedSpaceSaving(capacity=80, seed=2)
+        for row in small_stream:
+            sketch.update(row)
+        sketch_engine = SketchQueryEngine(sketch)
+        exact_engine = ExactQueryEngine(
+            {item: float(count) for item, count in small_skewed_model.counts.items()}
+        )
+        group_key = lambda item: item % 3  # noqa: E731
+        estimated_groups = sketch_engine.select_sum(group_by=group_key).groups
+        exact_groups = exact_engine.select_sum(group_by=group_key).groups
+        assert sum(estimated_groups.values()) == pytest.approx(
+            sum(exact_groups.values()), rel=1e-6
+        )
+        for group, exact_total in exact_groups.items():
+            assert estimated_groups.get(group, 0.0) == pytest.approx(exact_total, rel=0.35)
+
+
+class TestAdClickPipeline:
+    def test_marginals_close_to_truth_for_large_cells(self):
+        dataset = AdClickDataset(num_rows=20_000, seed=3)
+        sketch = UnbiasedSpaceSaving(capacity=3_000, seed=3)
+        for impression in dataset.impressions():
+            sketch.update(impression)
+        feature = 1  # advertiser
+        estimated = one_way_marginal(sketch, feature)
+        exact = dataset.marginal_counts(feature)
+        cells = marginal_cells(estimated, exact, min_truth=500)
+        assert cells, "expected at least one large marginal cell"
+        for cell in cells:
+            assert cell.relative_error is not None
+            assert cell.relative_error < 0.25
+
+    def test_filter_engine_on_impressions(self):
+        dataset = AdClickDataset(num_rows=5_000, seed=4)
+        sketch = UnbiasedSpaceSaving(capacity=1_500, seed=4)
+        for impression in dataset.impressions():
+            sketch.update(impression)
+        device_counts = dataset.marginal_counts(6)
+        device, truth = max(device_counts.items(), key=lambda kv: kv[1])
+        engine = SketchQueryEngine(sketch)
+        estimate = engine.select_sum(where=field_equals(6, device)).value
+        assert estimate == pytest.approx(truth, rel=0.2)
+
+
+class TestPathologicalPipelines:
+    def test_sorted_stream_unbiased_beats_deterministic(self):
+        model = scaled_weibull_counts(num_items=600, shape=0.3, target_total=60_000)
+        stream = list(iterate_rows(sorted_stream(model, ascending=True)))
+        # Items in the first (least frequent) third arrive first and are the
+        # ones Deterministic Space Saving forgets.
+        early_items = {item for item, _ in model.sorted_items(ascending=True)[:200]}
+        truth = float(model.subset_total(early_items))
+        unbiased_errors = []
+        deterministic_errors = []
+        for seed in range(5):
+            unbiased = UnbiasedSpaceSaving(capacity=150, seed=seed)
+            deterministic = DeterministicSpaceSaving(capacity=150, seed=seed)
+            for row in stream:
+                unbiased.update(row)
+                deterministic.update(row)
+            predicate = lambda item: item in early_items  # noqa: E731
+            unbiased_errors.append(abs(unbiased.subset_sum(predicate) - truth))
+            deterministic_errors.append(
+                abs(
+                    sum(
+                        value
+                        for item, value in deterministic.estimates().items()
+                        if item in early_items
+                    )
+                    - truth
+                )
+            )
+        assert np.mean(unbiased_errors) < np.mean(deterministic_errors)
+
+    def test_theorem11_adversarial_stream_zeroes_deterministic_estimates(self):
+        from repro.streams.frequency import geometric_counts
+
+        # Theorem 11 requires every count below 2·n_tot/m, so use a
+        # light-tailed model where the largest count is far below that bound.
+        model = geometric_counts(num_items=200, success_probability=0.05)
+        capacity = 50
+        rows, _ = adversarial_theorem11_stream(model, num_bins=capacity)
+        deterministic = DeterministicSpaceSaving(capacity, seed=0)
+        unbiased = UnbiasedSpaceSaving(capacity, seed=0)
+        for row in rows:
+            deterministic.update(row)
+            unbiased.update(row)
+        original_items = set(model.counts)
+        deterministic_mass = sum(
+            value
+            for item, value in deterministic.estimates().items()
+            if item in original_items
+        )
+        unbiased_mass = unbiased.subset_sum(lambda item: item in original_items)
+        # Theorem 11: the deterministic sketch retains nothing of the real data.
+        assert deterministic_mass == 0.0
+        # The unbiased sketch still attributes a non-trivial share of its mass
+        # to the real items (roughly half the stream in expectation).
+        assert unbiased_mass > 0.2 * model.total
+
+
+class TestMergePipelines:
+    def test_merged_sketch_answers_queries_over_union(self):
+        first_model = scaled_weibull_counts(num_items=300, shape=0.4, target_total=20_000)
+        second_counts = {item + 1000: count for item, count in first_model.counts.items()}
+        rng = np.random.default_rng(5)
+        first_sketch = UnbiasedSpaceSaving(capacity=100, seed=5)
+        for row in iterate_rows(exchangeable_stream(first_model, rng=rng)):
+            first_sketch.update(row)
+        second_sketch = UnbiasedSpaceSaving(capacity=100, seed=6)
+        from repro.streams.frequency import FrequencyModel
+
+        second_model = FrequencyModel(counts=second_counts)
+        for row in iterate_rows(exchangeable_stream(second_model, rng=rng)):
+            second_sketch.update(row)
+        merged = merge_unbiased(first_sketch, second_sketch, seed=7)
+        total_truth = first_model.total + second_model.total
+        assert merged.total_estimate() == pytest.approx(total_truth, rel=0.05)
+        first_half_estimate = merged.subset_sum(lambda item: item < 1000)
+        assert first_half_estimate == pytest.approx(first_model.total, rel=0.35)
+
+    def test_distributed_pipeline_matches_single_sketch_total(self, small_stream):
+        single = UnbiasedSpaceSaving(capacity=40, seed=8)
+        for row in small_stream:
+            single.update(row)
+        pipeline = DistributedSubsetSum(capacity=40, num_partitions=4, seed=8)
+        pipeline.run(small_stream)
+        assert pipeline.merged_sketch.total_estimate() == pytest.approx(
+            single.total_estimate(), rel=1e-9
+        )

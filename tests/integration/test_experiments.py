@@ -1,0 +1,184 @@
+"""Integration tests for the per-figure experiment harness (small scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.evaluation.experiments import get_experiment, list_experiments
+from repro.evaluation.figures_pathological import SortedStreamStudy
+from repro.evaluation.reporting import format_summary, format_table
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        ids = list_experiments()
+        assert len(ids) == 10
+        for figure in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            assert any(identifier.startswith(f"fig{figure}_") for identifier in ids)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_experiment("fig99_nothing")
+
+
+class TestIidExperiments:
+    def test_fig2_inclusion_probabilities_track_pps(self):
+        result = get_experiment(
+            "fig2_inclusion_probabilities",
+            num_items=300,
+            target_total=20_000,
+            capacity=60,
+            num_trials=15,
+            seed=0,
+        ).run()
+        summary = result.summary()
+        assert summary["correlation"] > 0.85
+        assert summary["mean_abs_deviation"] < 0.15
+        assert len(result.rows()) == 300
+
+    def test_fig3_unbiased_close_to_priority_and_output_shape(self):
+        result = get_experiment(
+            "fig3_relative_error_200",
+            target_total=20_000,
+            num_trials=2,
+            num_subsets=8,
+            capacity=100,
+            seed=1,
+        ).run()
+        summary = result.summary()
+        for name in ("weibull_0.32", "geometric_0.03", "weibull_0.15"):
+            unbiased = summary[f"{name}/unbiased_space_saving"]
+            priority = summary[f"{name}/priority_sampling"]
+            assert unbiased <= priority * 2.5
+        assert result.rows()
+        assert format_table(result.rows())
+
+    def test_fig4_bottom_k_much_worse_on_skewed_data(self):
+        result = get_experiment(
+            "fig4_relative_error_100",
+            target_total=20_000,
+            num_trials=2,
+            num_subsets=8,
+            seed=2,
+        ).run()
+        summary = result.summary()
+        assert (
+            summary["weibull_0.15/bottom_k"]
+            > 2.0 * summary["weibull_0.15/unbiased_space_saving"]
+        )
+
+    def test_fig5_unbiased_competitive_with_priority(self):
+        result = get_experiment(
+            "fig5_vs_priority",
+            target_total=60_000,
+            num_trials=6,
+            num_subsets=15,
+            capacity=100,
+            seed=3,
+        ).run()
+        summary = result.summary()
+        # The full-scale claim (the sketch matches or beats priority sampling)
+        # is asserted by the benchmark; at this reduced test scale we only
+        # require it to be in the same competitive regime.
+        assert summary["fraction_subsets_unbiased_wins_or_ties"] >= 0.15
+        assert summary["median_relative_efficiency"] > 0.35
+        assert format_summary(summary)
+
+
+class TestAdClickExperiment:
+    def test_fig6_marginals_reasonable(self):
+        result = get_experiment(
+            "fig6_marginals", num_rows=6_000, capacity=800, num_trials=1, seed=4
+        ).run()
+        summary = result.summary()
+        assert set(summary) == {
+            "one_way/unbiased_space_saving",
+            "one_way/priority_sampling",
+            "two_way/unbiased_space_saving",
+            "two_way/priority_sampling",
+        }
+        # The sketch should be in the same error regime as priority sampling.
+        assert (
+            summary["one_way/unbiased_space_saving"]
+            <= 3.0 * summary["one_way/priority_sampling"] + 0.05
+        )
+        assert result.rows()
+
+
+class TestPathologicalExperiments:
+    def test_fig1_merge_profile_totals(self):
+        result = get_experiment("fig1_merge_profile", seed=5).run()
+        summary = result.summary()
+        assert summary["unbiased_total"] == pytest.approx(
+            summary["combined_total"], rel=0.25
+        )
+        assert summary["misra_gries_total"] < summary["combined_total"]
+
+    def test_fig7_two_half_unbiased_better_on_first_half(self):
+        result = get_experiment(
+            "fig7_pathological_two_half",
+            num_items_per_half=200,
+            target_total_per_half=10_000,
+            capacity=60,
+            num_trials=4,
+            num_subsets=8,
+            seed=6,
+        ).run()
+        summary = result.summary()
+        assert (
+            summary["unbiased_rrmse_first_half"]
+            < summary["deterministic_rrmse_first_half"]
+        )
+        assert len(result.rows()) == 4
+
+    def test_fig8_to_10_shared_study_views(self):
+        study = SortedStreamStudy(
+            num_items=400,
+            target_total=30_000,
+            capacity=80,
+            num_epochs=5,
+            num_trials=5,
+            seed=7,
+        ).run()
+        coverage = study.coverage_by_epoch()
+        assert len(coverage) == 5
+        assert all(0.0 <= value <= 1.0 for value in coverage)
+        # Later (large-count) epochs should have excellent coverage.
+        assert coverage[-1] >= 0.6
+        widths = study.mean_ci_width_by_epoch()
+        assert all(width >= 0.0 for width in widths)
+        ratios = study.stddev_ratio_by_epoch()
+        assert len(ratios) == 5
+        rrmse_deterministic = study.rrmse_by_epoch("deterministic")
+        rrmse_unbiased = study.rrmse_by_epoch("unbiased")
+        # Figure 10's headline: Deterministic Space Saving returns 0 for all
+        # early epochs (100% error) while Unbiased Space Saving does far
+        # better on the later, large epochs.
+        assert rrmse_deterministic[0] == pytest.approx(100.0)
+        assert rrmse_unbiased[-1] < rrmse_deterministic[0]
+
+    def test_fig8_and_fig9_and_fig10_experiment_wrappers(self):
+        study = SortedStreamStudy(
+            num_items=300,
+            target_total=20_000,
+            capacity=60,
+            num_epochs=4,
+            num_trials=3,
+            seed=8,
+        )
+        fig8 = get_experiment("fig8_ci_coverage")
+        fig8.study = study
+        coverage_result = fig8.run()
+        assert set(coverage_result) == {"epoch_truths", "mean_ci_width", "coverage"}
+        fig9 = get_experiment("fig9_stddev_accuracy")
+        fig9.study = study
+        variance_result = fig9.run()
+        assert set(variance_result) == {
+            "stddev_overestimation",
+            "pathological_vs_pps_stddev",
+        }
+        fig10 = get_experiment("fig10_deterministic_vs_unbiased")
+        fig10.study = study
+        error_result = fig10.run()
+        assert len(error_result["deterministic_pct_rrmse"]) == 4

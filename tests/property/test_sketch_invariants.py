@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for sketch structural invariants."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deterministic_space_saving import DeterministicSpaceSaving
+from repro.core.reduction import GeneralizedSpaceSaving, UnbiasedPairReduction
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.frequent.misra_gries import MisraGriesSketch
+
+# Streams of small-alphabet items so collisions and evictions actually happen.
+item_streams = st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=300)
+capacities = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_unbiased_space_saving_total_preserved(rows, capacity, seed):
+    """The sum of all retained counters always equals the number of rows."""
+    sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+    for row in rows:
+        sketch.update(row)
+    assert sketch.total_estimate() == pytest.approx(float(len(rows)))
+    assert len(sketch) <= capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_unbiased_space_saving_estimates_nonnegative_and_bounded(rows, capacity, seed):
+    """No estimate is negative or larger than the whole stream."""
+    sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+    for row in rows:
+        sketch.update(row)
+    for estimate in sketch.estimates().values():
+        assert 0.0 <= estimate <= len(rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_deterministic_space_saving_overestimates_within_bound(rows, capacity, seed):
+    """DSS estimates lie in [true, true + N/m] and totals are preserved."""
+    sketch = DeterministicSpaceSaving(capacity, seed=seed)
+    for row in rows:
+        sketch.update(row)
+    truth = Counter(rows)
+    bound = len(rows) / capacity
+    for item, estimate in sketch.estimates().items():
+        assert estimate >= truth[item]
+        assert estimate - truth[item] <= bound + 1e-9
+    assert sum(sketch.estimates().values()) == pytest.approx(float(len(rows)))
+    assert len(sketch) <= capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_exact_below_capacity_for_both_sketches(rows, capacity, seed):
+    """While distinct items fit in the bins, both sketches are exact."""
+    distinct = len(set(rows))
+    if distinct > capacity:
+        rows = rows[: capacity]  # keep only a prefix that must fit
+    truth = Counter(rows)
+    unbiased = UnbiasedSpaceSaving(max(capacity, 1), seed=seed)
+    deterministic = DeterministicSpaceSaving(max(capacity, 1), seed=seed)
+    for row in rows:
+        unbiased.update(row)
+        deterministic.update(row)
+    for item, count in truth.items():
+        assert unbiased.estimate(item) == count
+        assert deterministic.estimate(item) == count
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_misra_gries_underestimates_within_bound(rows, capacity, seed):
+    """Misra-Gries never overestimates and undercounts by at most N/(m+1)."""
+    sketch = MisraGriesSketch(capacity)
+    for row in rows:
+        sketch.update(row)
+    truth = Counter(rows)
+    bound = len(rows) / (capacity + 1)
+    for item in truth:
+        estimate = sketch.estimate(item)
+        assert estimate <= truth[item]
+        assert truth[item] - estimate <= bound + 1e-9
+    assert len(sketch.estimates()) <= capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_generalized_sketch_matches_unbiased_invariants(rows, capacity, seed):
+    """The Algorithm 2 reference implementation shares the key invariants."""
+    sketch = GeneralizedSpaceSaving(capacity, policy=UnbiasedPairReduction(), seed=seed)
+    for row in rows:
+        sketch.update(row)
+    assert len(sketch) <= capacity
+    assert sum(sketch.estimates().values()) == pytest.approx(float(len(rows)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=item_streams, capacity=capacities, seed=seeds)
+def test_heavy_hitters_are_subset_of_estimates(rows, capacity, seed):
+    """heavy_hitters() returns retained items above the requested threshold."""
+    sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+    for row in rows:
+        sketch.update(row)
+    if not rows:
+        return
+    hitters = sketch.heavy_hitters(0.2)
+    estimates = sketch.estimates()
+    threshold = 0.2 * len(rows)
+    for item, estimate in hitters.items():
+        assert item in estimates
+        assert estimate >= threshold

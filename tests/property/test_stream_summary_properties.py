@@ -1,0 +1,110 @@
+"""Property-based tests for the Stream-Summary structure against a dict model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.stream_summary import StreamSummary
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=50),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_bulk_insert_matches_dict_model(counts):
+    """Inserting arbitrary (label, count) pairs reproduces the dict exactly."""
+    summary = StreamSummary()
+    for label, count in counts.items():
+        summary.insert(label, count)
+    assert summary.counts() == counts
+    assert summary.min_count() == min(counts.values())
+    assert summary.max_count() == max(counts.values())
+    summary.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=20),
+        min_size=1,
+        max_size=25,
+    ),
+    increments=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=60), st.integers(min_value=1, max_value=10)),
+        max_size=60,
+    ),
+)
+def test_increments_match_dict_model(counts, increments):
+    """A sequence of increments keeps the structure consistent with a dict."""
+    summary = StreamSummary()
+    model = dict(counts)
+    for label, count in counts.items():
+        summary.insert(label, count)
+    for label, step in increments:
+        if label in model:
+            summary.increment(label, step)
+            model[label] += step
+    assert summary.counts() == model
+    summary.check_invariants()
+
+
+class StreamSummaryMachine(RuleBasedStateMachine):
+    """Stateful test: random interleavings of insert/increment/remove/relabel."""
+
+    def __init__(self):
+        super().__init__()
+        self.summary = StreamSummary()
+        self.model = {}
+        self.next_label = 0
+
+    @rule(count=st.integers(min_value=0, max_value=30))
+    def insert(self, count):
+        label = self.next_label
+        self.next_label += 1
+        self.summary.insert(label, count)
+        self.model[label] = count
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), step=st.integers(min_value=1, max_value=7))
+    def increment(self, data, step):
+        label = data.draw(st.sampled_from(sorted(self.model)))
+        self.summary.increment(label, step)
+        self.model[label] += step
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        label = data.draw(st.sampled_from(sorted(self.model)))
+        removed = self.summary.remove(label)
+        assert removed == self.model.pop(label)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def relabel(self, data):
+        label = data.draw(st.sampled_from(sorted(self.model)))
+        new_label = self.next_label
+        self.next_label += 1
+        self.summary.relabel(label, new_label)
+        self.model[new_label] = self.model.pop(label)
+
+    @invariant()
+    def matches_model(self):
+        assert self.summary.counts() == self.model
+        if self.model:
+            assert self.summary.min_count() == min(self.model.values())
+        self.summary.check_invariants()
+
+
+TestStreamSummaryStateful = StreamSummaryMachine.TestCase
+TestStreamSummaryStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

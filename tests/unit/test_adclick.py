@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic ad-click dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams.adclick import (
+    AdClickDataset,
+    AdFeatureSpec,
+    default_criteo_like_features,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> AdClickDataset:
+    return AdClickDataset(num_rows=3_000, seed=42)
+
+
+class TestFeatureSpec:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdFeatureSpec("x", cardinality=1)
+        with pytest.raises(InvalidParameterError):
+            AdFeatureSpec("x", cardinality=5, zipf_exponent=0)
+        with pytest.raises(InvalidParameterError):
+            AdFeatureSpec("x", cardinality=5, correlation=1.5)
+
+    def test_default_layout_has_nine_features(self):
+        specs = default_criteo_like_features()
+        assert len(specs) == 9
+        assert len({spec.name for spec in specs}) == 9
+
+
+class TestDatasetGeneration:
+    def test_row_count_and_shape(self, dataset):
+        impressions = list(dataset.impressions())
+        assert len(impressions) == 3_000
+        assert all(len(row) == dataset.num_features for row in impressions)
+
+    def test_reproducible_given_seed(self):
+        first = AdClickDataset(num_rows=500, seed=7)
+        second = AdClickDataset(num_rows=500, seed=7)
+        assert list(first.impressions()) == list(second.impressions())
+        assert first.click_count() == second.click_count()
+
+    def test_different_seeds_differ(self):
+        first = AdClickDataset(num_rows=500, seed=1)
+        second = AdClickDataset(num_rows=500, seed=2)
+        assert list(first.impressions()) != list(second.impressions())
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdClickDataset(num_rows=0)
+        with pytest.raises(InvalidParameterError):
+            AdClickDataset(num_rows=10, base_click_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            AdClickDataset(num_rows=10, features=[])
+
+    def test_child_feature_must_follow_parent(self):
+        bad = [
+            AdFeatureSpec("child", cardinality=10, parent=1, correlation=0.5),
+            AdFeatureSpec("parent", cardinality=10),
+        ]
+        with pytest.raises(InvalidParameterError):
+            AdClickDataset(num_rows=10, features=bad)
+
+    def test_click_rate_in_reasonable_range(self, dataset):
+        rate = dataset.overall_click_rate()
+        assert 0.0 < rate < 0.5
+        assert dataset.click_count() == pytest.approx(rate * dataset.num_rows)
+
+
+class TestGroundTruth:
+    def test_marginal_counts_sum_to_rows(self, dataset):
+        for feature in range(dataset.num_features):
+            counts = dataset.marginal_counts(feature)
+            assert sum(counts.values()) == dataset.num_rows
+
+    def test_pairwise_counts_sum_to_rows(self, dataset):
+        counts = dataset.pairwise_counts(1, 5)
+        assert sum(counts.values()) == dataset.num_rows
+
+    def test_pairwise_requires_distinct_features(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            dataset.pairwise_counts(2, 2)
+
+    def test_tuple_counts_sum_to_rows(self, dataset):
+        counts = dataset.tuple_counts()
+        assert sum(counts.values()) == dataset.num_rows
+
+    def test_marginals_are_skewed(self, dataset):
+        counts = sorted(dataset.marginal_counts(0).values(), reverse=True)
+        head = sum(counts[: max(1, len(counts) // 20)])
+        assert head / dataset.num_rows > 0.2
+
+    def test_correlated_features_not_independent(self, dataset):
+        # advertiser (1) is strongly tied to ad_id (0), so the number of
+        # distinct (ad_id, advertiser) pairs is far below the independent
+        # expectation of min(num_rows, |ad_id| x |advertiser|) diversity.
+        pair_counts = dataset.pairwise_counts(0, 1)
+        distinct_ads = len(dataset.marginal_counts(0))
+        assert len(pair_counts) < distinct_ads * 3
+
+    def test_click_counts_by_feature(self, dataset):
+        clicks = dataset.click_counts_by_feature(0)
+        assert sum(clicks.values()) == dataset.click_count()
+
+    def test_feature_index_lookup(self, dataset):
+        assert dataset.feature_index("advertiser") == 1
+        with pytest.raises(InvalidParameterError):
+            dataset.feature_index("nope")
+
+    def test_invalid_feature_index_rejected(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            dataset.marginal_counts(99)
+
+
+class TestStreamsAndPredicates:
+    def test_clicked_impressions_subset(self, dataset):
+        clicked = list(dataset.clicked_impressions())
+        assert len(clicked) == dataset.click_count()
+
+    def test_labeled_impressions(self, dataset):
+        labeled = list(dataset.labeled_impressions())
+        assert len(labeled) == dataset.num_rows
+        assert sum(1 for _, clicked in labeled if clicked) == dataset.click_count()
+
+    def test_marginal_predicate(self, dataset):
+        counts = dataset.marginal_counts(2)
+        value = next(iter(counts))
+        predicate = dataset.marginal_predicate(2, value)
+        matching = sum(1 for row in dataset.impressions() if predicate(row))
+        assert matching == counts[value]
+
+    def test_pairwise_predicate(self, dataset):
+        counts = dataset.pairwise_counts(1, 5)
+        (value_a, value_b) = next(iter(counts))
+        predicate = dataset.pairwise_predicate(1, value_a, 5, value_b)
+        matching = sum(1 for row in dataset.impressions() if predicate(row))
+        assert matching == counts[(value_a, value_b)]

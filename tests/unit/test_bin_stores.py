@@ -1,0 +1,125 @@
+"""Unit tests for the two BinStore implementations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.base import HeapBinStore, StreamSummaryBinStore
+from repro.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    UnsupportedUpdateError,
+)
+
+STORES = [StreamSummaryBinStore, HeapBinStore]
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestCommonBehaviour:
+    def test_insert_get_len_contains(self, store_cls):
+        store = store_cls()
+        store.insert("a", 2)
+        store.insert("b", 5)
+        assert len(store) == 2
+        assert "a" in store and "c" not in store
+        assert store.get("a") == 2.0
+        assert store.get("c", 9.0) == 9.0
+
+    def test_duplicate_insert_rejected(self, store_cls):
+        store = store_cls()
+        store.insert("a", 1)
+        with pytest.raises(InvalidParameterError):
+            store.insert("a", 1)
+
+    def test_increment_and_min_tracking(self, store_cls):
+        store = store_cls()
+        store.insert("a", 1)
+        store.insert("b", 4)
+        assert store.min_label() == "a"
+        assert store.min_count() == 1.0
+        store.increment("a", 10)
+        assert store.min_label() == "b"
+        assert store.min_count() == 4.0
+
+    def test_remove_returns_count(self, store_cls):
+        store = store_cls()
+        store.insert("a", 3)
+        assert store.remove("a") == 3.0
+        assert len(store) == 0
+
+    def test_relabel_keeps_count(self, store_cls):
+        store = store_cls()
+        store.insert("old", 6)
+        store.relabel("old", "new")
+        assert store.get("new") == 6.0
+        assert "old" not in store
+
+    def test_counts_snapshot(self, store_cls):
+        store = store_cls()
+        store.insert("a", 1)
+        store.insert("b", 2)
+        assert store.counts() == {"a": 1.0, "b": 2.0}
+
+    def test_random_tie_breaking(self, store_cls):
+        store = store_cls(rng=random.Random(3))
+        for label in "abcdef":
+            store.insert(label, 2)
+        picks = {store.min_label() for _ in range(40)}
+        assert picks <= set("abcdef")
+        assert len(picks) > 1
+
+
+class TestStreamSummaryStoreSpecifics:
+    def test_rejects_fractional_counts(self):
+        store = StreamSummaryBinStore()
+        with pytest.raises(UnsupportedUpdateError):
+            store.insert("a", 1.5)
+        store.insert("b", 1)
+        with pytest.raises(UnsupportedUpdateError):
+            store.increment("b", 0.5)
+
+    def test_invariant_check_passes(self):
+        store = StreamSummaryBinStore()
+        for index in range(20):
+            store.insert(index, index % 5)
+        store.check_invariants()
+
+
+class TestHeapStoreSpecifics:
+    def test_supports_fractional_counts(self):
+        store = HeapBinStore()
+        store.insert("a", 0.25)
+        store.increment("a", 0.75)
+        assert store.get("a") == pytest.approx(1.0)
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            HeapBinStore().min_count()
+
+    def test_negative_insert_and_increment_rejected(self):
+        store = HeapBinStore()
+        with pytest.raises(InvalidParameterError):
+            store.insert("a", -1.0)
+        store.insert("b", 1.0)
+        with pytest.raises(InvalidParameterError):
+            store.increment("b", -0.5)
+
+    def test_min_tracking_with_many_lazy_updates(self):
+        rng = random.Random(11)
+        store = HeapBinStore()
+        reference = {}
+        for index in range(200):
+            label = f"item{index % 40}"
+            if label in reference:
+                delta = rng.random()
+                store.increment(label, delta)
+                reference[label] += delta
+            else:
+                value = rng.random() * 5
+                store.insert(label, value)
+                reference[label] = value
+            expected_min = min(reference.values())
+            assert store.min_count() == pytest.approx(expected_min)
+            assert reference[store.min_label()] == pytest.approx(expected_min)

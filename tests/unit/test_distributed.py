@@ -1,0 +1,128 @@
+"""Unit tests for partitioning and the simulated map-reduce pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.mapreduce import (
+    DistributedSubsetSum,
+    reduce_sketches,
+    sketch_partitions,
+    tree_merge,
+)
+from repro.distributed.partition import (
+    hash_partition,
+    key_range_partition,
+    round_robin_partition,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestPartitioning:
+    def test_hash_partition_routes_items_consistently(self):
+        rows = [f"i{k % 20}" for k in range(200)]
+        partitions = hash_partition(rows, 4, seed=0)
+        assert sum(len(partition) for partition in partitions) == 200
+        # All rows of a given item land in exactly one partition.
+        for item in set(rows):
+            containing = [p for p in partitions if item in p]
+            assert len(containing) == 1
+
+    def test_round_robin_partition_balanced(self):
+        partitions = round_robin_partition(range(100), 4)
+        assert [len(partition) for partition in partitions] == [25, 25, 25, 25]
+
+    def test_key_range_partition_sorted_blocks(self):
+        partitions = key_range_partition(list(range(100)), 4, key=lambda row: row)
+        assert partitions[0] == list(range(25))
+        assert partitions[-1][-1] == 99
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            hash_partition([], 0)
+        with pytest.raises(InvalidParameterError):
+            round_robin_partition([], 0)
+        with pytest.raises(InvalidParameterError):
+            key_range_partition([], 0)
+
+
+class TestMapReduce:
+    def test_sketch_partitions_builds_one_sketch_each(self):
+        partitions = [["a", "a"], ["b"], ["c", "c", "c"]]
+        sketches = sketch_partitions(partitions, capacity=4, seed=0)
+        assert len(sketches) == 3
+        assert sketches[0].estimate("a") == 2.0
+        assert sketches[2].rows_processed == 3
+
+    def test_sketch_partitions_requires_partitions(self):
+        with pytest.raises(InvalidParameterError):
+            sketch_partitions([], capacity=4)
+
+    def test_reduce_preserves_rows_and_totals(self):
+        partitions = round_robin_partition(range(300), 3)
+        sketches = sketch_partitions(partitions, capacity=20, seed=1)
+        merged = reduce_sketches(sketches, seed=1)
+        assert merged.rows_processed == 300
+        assert merged.total_weight == 300.0
+        assert len(merged) <= 20
+
+    def test_tree_merge_handles_odd_counts(self):
+        partitions = round_robin_partition(range(250), 5)
+        sketches = sketch_partitions(partitions, capacity=15, seed=2)
+        merged = tree_merge(sketches, seed=2)
+        assert merged.rows_processed == 250
+        with pytest.raises(InvalidParameterError):
+            tree_merge([])
+
+    def test_single_sketch_tree_merge_is_identity(self):
+        sketch = UnbiasedSpaceSaving(capacity=8, seed=0)
+        sketch.update_stream(range(20))
+        assert tree_merge([sketch]) is sketch
+
+    def test_distributed_pipeline_end_to_end(self):
+        pipeline = DistributedSubsetSum(capacity=32, num_partitions=4, seed=0)
+        rows = [f"i{k % 50}" for k in range(1000)]
+        merged = pipeline.run(rows)
+        assert merged.rows_processed == 1000
+        truth = Counter(rows)
+        estimate = pipeline.subset_sum(lambda item: item in {"i0", "i1", "i2"})
+        exact = truth["i0"] + truth["i1"] + truth["i2"]
+        assert estimate == pytest.approx(exact, rel=0.6)
+        with_error = pipeline.subset_sum_with_error(lambda item: True)
+        assert with_error.estimate == pytest.approx(1000.0, rel=0.05)
+
+    def test_distributed_pipeline_tree_strategy(self):
+        pipeline = DistributedSubsetSum(
+            capacity=16, num_partitions=3, merge_strategy="tree", seed=1
+        )
+        merged = pipeline.run(range(200))
+        assert merged.rows_processed == 200
+
+    def test_pipeline_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DistributedSubsetSum(capacity=8, num_partitions=0)
+        with pytest.raises(InvalidParameterError):
+            DistributedSubsetSum(capacity=8, num_partitions=2, merge_strategy="bogus")
+        pipeline = DistributedSubsetSum(capacity=8, num_partitions=2)
+        with pytest.raises(InvalidParameterError):
+            _ = pipeline.merged_sketch
+
+    def test_distributed_estimates_unbiased_in_expectation(self):
+        rows = []
+        for index in range(40):
+            rows.extend([f"i{index}"] * ((index % 4) + 1))
+        subset = {f"i{index}" for index in range(0, 40, 3)}
+        truth = sum((index % 4) + 1 for index in range(0, 40, 3))
+        estimates = []
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            shuffled = list(rng.permutation(np.array(rows, dtype=object)))
+            pipeline = DistributedSubsetSum(capacity=12, num_partitions=3, seed=seed)
+            pipeline.run(shuffled)
+            estimates.append(pipeline.subset_sum(lambda item: item in subset))
+        standard_error = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - truth) <= 4 * standard_error + 1.0

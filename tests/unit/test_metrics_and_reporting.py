@@ -1,0 +1,118 @@
+"""Unit tests for evaluation metrics and the text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.evaluation.metrics import (
+    bias,
+    binned_relative_error,
+    empirical_inclusion_probability,
+    mean_squared_error,
+    quantiles,
+    relative_bias,
+    relative_efficiency,
+    relative_mse,
+    relative_rmse,
+    root_mean_squared_error,
+)
+from repro.evaluation.reporting import (
+    format_series,
+    format_summary,
+    format_table,
+    print_experiment,
+)
+
+
+class TestErrorMetrics:
+    def test_mse_and_rmse(self):
+        assert mean_squared_error([1.0, 3.0], [0.0, 0.0]) == 5.0
+        assert root_mean_squared_error([3.0], [0.0]) == 3.0
+
+    def test_relative_rmse_and_mse(self):
+        assert relative_rmse([12.0, 8.0], [10.0, 10.0]) == pytest.approx(0.2)
+        assert relative_mse([12.0, 8.0], [10.0, 10.0]) == pytest.approx(0.04)
+
+    def test_relative_rmse_zero_truth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            relative_rmse([1.0], [0.0])
+
+    def test_bias_and_relative_bias(self):
+        assert bias([12.0, 8.0], [10.0, 10.0]) == 0.0
+        assert relative_bias([12.0, 12.0], [10.0, 10.0]) == pytest.approx(0.2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            mean_squared_error([1.0], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            mean_squared_error([], [])
+
+    def test_relative_efficiency(self):
+        truths = [10.0, 10.0]
+        baseline = [14.0, 6.0]
+        candidate = [11.0, 9.0]
+        assert relative_efficiency(baseline, candidate, truths) == pytest.approx(16.0)
+        assert relative_efficiency(candidate, candidate, truths) == 1.0
+        assert relative_efficiency(baseline, truths, truths) == float("inf")
+
+
+class TestInclusionAndBinning:
+    def test_empirical_inclusion_probability(self):
+        runs = [{"a", "b"}, {"a"}, {"a", "c"}]
+        probabilities = empirical_inclusion_probability(runs, ["a", "b", "c", "d"])
+        assert probabilities["a"] == 1.0
+        assert probabilities["b"] == pytest.approx(1 / 3)
+        assert probabilities["d"] == 0.0
+        with pytest.raises(InvalidParameterError):
+            empirical_inclusion_probability([], ["a"])
+
+    def test_binned_relative_error_linear_and_log(self):
+        truths = [10.0, 20.0, 100.0, 200.0]
+        estimates = [12.0, 20.0, 90.0, 220.0]
+        linear = binned_relative_error(truths, estimates, num_bins=2)
+        assert len(linear) == 2
+        assert sum(size for _, __, size in linear) == 4
+        logarithmic = binned_relative_error(truths, estimates, num_bins=2, log_bins=True)
+        assert len(logarithmic) == 2
+
+    def test_binned_relative_error_requires_positive_truths(self):
+        with pytest.raises(InvalidParameterError):
+            binned_relative_error([0.0], [1.0])
+
+    def test_quantiles(self):
+        summary = quantiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary[0.5] == 3.0
+        with pytest.raises(InvalidParameterError):
+            quantiles([])
+
+
+class TestReporting:
+    def test_format_table_alignment_and_truncation(self):
+        rows = [{"name": "alpha", "value": 1.23456}, {"name": "b", "value": 2e9}]
+        text = format_table(rows, precision=3)
+        assert "name" in text and "alpha" in text
+        truncated = format_table(rows * 30, max_rows=5)
+        assert "more rows" in truncated
+        assert format_table([]) == "(no rows)"
+
+    def test_format_summary(self):
+        text = format_summary({"metric": 0.5, "other": 2.0})
+        assert "metric" in text and "0.5" in text
+        assert format_summary({}) == "(empty summary)"
+
+    def test_format_series(self):
+        text = format_series("coverage", [0.9, 1.0])
+        assert text.startswith("coverage:")
+        assert "0.9" in text
+
+    def test_print_experiment_outputs_sections(self, capsys):
+        print_experiment(
+            "Demo",
+            summary={"a": 1.0},
+            rows=[{"x": 1}],
+            series={"s": [1.0, 2.0]},
+        )
+        captured = capsys.readouterr().out
+        assert "Demo" in captured
+        assert "a" in captured and "s:" in captured and "x" in captured

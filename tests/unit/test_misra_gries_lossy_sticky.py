@@ -1,0 +1,200 @@
+"""Unit tests for Misra-Gries, Lossy Counting and Sticky Sampling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.deterministic_space_saving import DeterministicSpaceSaving
+from repro.frequent.lossy_counting import LossyCountingSketch
+from repro.frequent.misra_gries import MisraGriesSketch
+from repro.frequent.sticky_sampling import StickySamplingSketch
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+
+
+class TestMisraGries:
+    def test_exact_under_capacity(self):
+        sketch = MisraGriesSketch(capacity=5)
+        sketch.update_stream(["a", "b", "a"])
+        assert sketch.estimate("a") == 2
+        assert sketch.estimate("b") == 1
+        assert sketch.decrements == 0
+
+    def test_estimates_never_exceed_truth(self):
+        rows = ["hot"] * 30 + [f"c{i}" for i in range(50)] * 2
+        sketch = MisraGriesSketch(capacity=8)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item, estimate in sketch.estimates().items():
+            assert estimate <= truth[item]
+
+    def test_undercount_bounded_by_decrements(self):
+        rows = ["hot"] * 40 + [f"c{i}" for i in range(100)]
+        sketch = MisraGriesSketch(capacity=10)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item in truth:
+            assert truth[item] - sketch.estimate(item) <= sketch.error_bound()
+
+    def test_error_bound_at_most_n_over_m_plus_one(self):
+        rows = list(range(120)) * 2
+        capacity = 11
+        sketch = MisraGriesSketch(capacity=capacity)
+        sketch.update_stream(rows)
+        assert sketch.error_bound() <= len(rows) / (capacity + 1)
+
+    def test_capacity_respected(self):
+        sketch = MisraGriesSketch(capacity=6)
+        sketch.update_stream(range(300))
+        assert len(sketch.estimates()) <= 6
+
+    def test_frequent_item_always_has_nonzero_counter(self):
+        rows = (["hot"] * 50 + [f"c{i}" for i in range(100)])
+        sketch = MisraGriesSketch(capacity=4)
+        sketch.update_stream(rows)
+        assert sketch.estimate("hot") > 0
+
+    def test_integer_weight_updates(self):
+        sketch = MisraGriesSketch(capacity=4)
+        sketch.update("a", 5)
+        assert sketch.estimate("a") == 5
+
+    def test_invalid_weights_rejected(self):
+        sketch = MisraGriesSketch(capacity=4)
+        with pytest.raises(UnsupportedUpdateError):
+            sketch.update("a", 0.5)
+        with pytest.raises(UnsupportedUpdateError):
+            sketch.update("a", -1)
+
+    def test_guaranteed_heavy_hitters(self):
+        rows = ["hot"] * 60 + [f"c{i}" for i in range(60)]
+        sketch = MisraGriesSketch(capacity=10)
+        sketch.update_stream(rows)
+        assert "hot" in sketch.guaranteed_heavy_hitters(0.3)
+        with pytest.raises(InvalidParameterError):
+            sketch.guaranteed_heavy_hitters(2.0)
+
+    def test_space_saving_isomorphism(self):
+        """Adding decrements back recovers the Space Saving estimates (§5.2)."""
+        rows = ["a"] * 9 + ["b"] * 6 + list(range(20))
+        misra_gries = MisraGriesSketch(capacity=4)
+        misra_gries.update_stream(rows)
+        space_saving = DeterministicSpaceSaving(capacity=4, seed=0)
+        space_saving.update_stream(rows)
+        # Both sketches process the same prefix deterministically up to tie
+        # breaks; the recovered estimates must agree for the clear frequent
+        # item and the totals must line up with the isomorphism.
+        recovered = misra_gries.to_space_saving_estimates()
+        assert recovered["a"] == pytest.approx(
+            misra_gries.estimate("a") + misra_gries.decrements
+        )
+        assert misra_gries.decrements <= min(space_saving.estimates().values())
+
+    def test_merge_respects_capacity_and_guarantee(self):
+        first = MisraGriesSketch(capacity=5)
+        first.update_stream(["a"] * 10 + list(range(20)))
+        second = MisraGriesSketch(capacity=5)
+        second.update_stream(["a"] * 5 + list(range(20, 40)))
+        merged = first.merge(second)
+        assert len(merged.estimates()) <= 5
+        assert merged.estimate("a") <= 15
+        assert merged.rows_processed == first.rows_processed + second.rows_processed
+
+    def test_merge_requires_same_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            MisraGriesSketch(capacity=4).merge(MisraGriesSketch(capacity=5))
+
+
+class TestLossyCounting:
+    def test_epsilon_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LossyCountingSketch(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            LossyCountingSketch(epsilon=1.0)
+
+    def test_unit_weight_only(self):
+        sketch = LossyCountingSketch(epsilon=0.1)
+        with pytest.raises(UnsupportedUpdateError):
+            sketch.update("a", 2)
+
+    def test_estimates_never_exceed_truth(self):
+        rows = ["hot"] * 40 + [f"c{i}" for i in range(200)]
+        sketch = LossyCountingSketch(epsilon=0.05)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item, estimate in sketch.estimates().items():
+            assert estimate <= truth[item]
+
+    def test_undercount_bounded_by_epsilon_n(self):
+        rows = ["hot"] * 50 + [f"c{i}" for i in range(300)]
+        sketch = LossyCountingSketch(epsilon=0.05)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item in truth:
+            assert truth[item] - sketch.estimate(item) <= sketch.error_bound() + 1e-9
+
+    def test_frequent_items_no_false_negatives(self):
+        rows = ["hot"] * 100 + [f"c{i}" for i in range(150)]
+        sketch = LossyCountingSketch(epsilon=0.02)
+        sketch.update_stream(rows)
+        frequent = sketch.frequent_items(support=0.3)
+        assert "hot" in frequent
+
+    def test_pruning_happens_at_bucket_boundaries(self):
+        sketch = LossyCountingSketch(epsilon=0.25)  # bucket width 4
+        sketch.update_stream(["a", "b", "c", "d"])
+        # After one full bucket every singleton has count + delta == bucket,
+        # so they are all pruned.
+        assert len(sketch) == 0
+        assert sketch.current_bucket == 2
+
+    def test_upper_bound_at_least_estimate(self):
+        sketch = LossyCountingSketch(epsilon=0.1)
+        sketch.update_stream(["a"] * 20 + list(range(50)))
+        for item in sketch.estimates():
+            assert sketch.upper_bound(item) >= sketch.estimate(item)
+
+    def test_invalid_support_rejected(self):
+        sketch = LossyCountingSketch(epsilon=0.1)
+        sketch.update("a")
+        with pytest.raises(InvalidParameterError):
+            sketch.frequent_items(0.0)
+
+
+class TestStickySampling:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StickySamplingSketch(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            StickySamplingSketch(epsilon=0.1, delta=1.0)
+
+    def test_unit_weight_only(self):
+        sketch = StickySamplingSketch(epsilon=0.1, seed=0)
+        with pytest.raises(UnsupportedUpdateError):
+            sketch.update("a", 3)
+
+    def test_estimates_never_exceed_truth(self):
+        rows = ["hot"] * 60 + [f"c{i}" for i in range(100)]
+        sketch = StickySamplingSketch(epsilon=0.05, seed=1)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item, estimate in sketch.estimates().items():
+            assert estimate <= truth[item]
+
+    def test_frequent_item_reported(self):
+        rows = ["hot"] * 300 + [f"c{i}" for i in range(100)]
+        sketch = StickySamplingSketch(epsilon=0.05, delta=0.01, seed=2)
+        sketch.update_stream(rows)
+        assert "hot" in sketch.frequent_items(support=0.5)
+
+    def test_sampling_rate_decreases_on_long_streams(self):
+        sketch = StickySamplingSketch(epsilon=0.2, delta=0.1, seed=3)
+        sketch.update_stream(f"i{k}" for k in range(5000))
+        assert sketch.sampling_rate < 1.0
+
+    def test_invalid_support_rejected(self):
+        sketch = StickySamplingSketch(epsilon=0.1, seed=4)
+        sketch.update("a")
+        with pytest.raises(InvalidParameterError):
+            sketch.frequent_items(0.0)

@@ -1,0 +1,185 @@
+"""Unit tests for the query layer: filters, subset sums, marginals, engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.errors import InvalidParameterError
+from repro.query.engine import ExactQueryEngine, SketchQueryEngine
+from repro.query.filters import (
+    everything,
+    field_equals,
+    field_in,
+    field_predicate,
+    in_set,
+    where,
+)
+from repro.query.marginals import (
+    MarginalCell,
+    marginal_cells,
+    one_way_marginal,
+    relative_mse_by_size,
+    two_way_marginal,
+)
+from repro.query.subset_sum import ExactAggregator, SubsetSumEstimator
+
+
+class TestFilters:
+    def test_where_and_everything(self):
+        keep = where(lambda item: item > 3, "gt3")
+        assert keep(5) and not keep(1)
+        assert everything()(object())
+
+    def test_in_set(self):
+        keep = in_set({"a", "b"})
+        assert keep("a") and not keep("c")
+
+    def test_field_combinators(self):
+        keep = field_equals(0, 3) & ~field_in(2, {7, 9})
+        assert keep((3, 1, 5))
+        assert not keep((3, 1, 7))
+        assert not keep((4, 1, 5))
+        either = field_equals(0, 1) | field_equals(0, 2)
+        assert either((2, 0, 0))
+        assert not either((3, 0, 0))
+
+    def test_field_predicate_and_description(self):
+        keep = field_predicate(1, lambda value: value >= 10, "big")
+        assert keep((0, 12))
+        assert not keep((0, 3))
+        assert "field[1]" in keep.description
+
+
+class TestSubsetSumEstimator:
+    def test_from_mapping(self):
+        estimator = SubsetSumEstimator({"a": 3.0, "b": 2.0})
+        assert estimator.subset_sum(lambda item: item == "a") == 3.0
+        assert estimator.total() == 5.0
+
+    def test_from_sketch_uses_error_model(self):
+        sketch = UnbiasedSpaceSaving(capacity=3, seed=0)
+        sketch.update_stream(range(60))
+        estimator = SubsetSumEstimator(sketch)
+        result = estimator.subset_sum_with_error(lambda item: item < 30)
+        assert result.variance > 0
+
+    def test_mapping_source_has_zero_variance(self):
+        estimator = SubsetSumEstimator({"a": 3.0})
+        result = estimator.subset_sum_with_error(lambda item: True)
+        assert result.variance == 0.0
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SubsetSumEstimator(42).subset_sum(lambda item: True)
+
+    def test_group_by(self):
+        estimator = SubsetSumEstimator({("x", 1): 2.0, ("x", 2): 3.0, ("y", 1): 4.0})
+        grouped = estimator.group_by(lambda item: item[0])
+        assert grouped == {"x": 5.0, "y": 4.0}
+        filtered = estimator.filtered_group_by(
+            lambda item: item[1] == 1, lambda item: item[0]
+        )
+        assert filtered == {"x": 2.0, "y": 4.0}
+
+
+class TestExactAggregator:
+    def test_exact_queries(self):
+        aggregator = ExactAggregator({"a": 3, "b": 1})
+        assert aggregator.subset_sum(lambda item: item == "a") == 3.0
+        assert aggregator.total() == 4.0
+        assert aggregator.count("b") == 1.0
+        assert aggregator.group_by(lambda item: "all") == {"all": 4.0}
+
+    def test_relative_error(self):
+        aggregator = ExactAggregator({"a": 10})
+        assert aggregator.relative_error(lambda item: item == "a", 12.0) == pytest.approx(0.2)
+        assert aggregator.relative_error(lambda item: item == "zzz", 1.0) is None
+
+
+class TestMarginals:
+    def test_one_way_marginal(self):
+        source = {("a", 1): 2.0, ("a", 2): 3.0, ("b", 1): 1.0}
+        assert one_way_marginal(source, 0) == {"a": 5.0, "b": 1.0}
+        with pytest.raises(InvalidParameterError):
+            one_way_marginal(source, -1)
+
+    def test_two_way_marginal(self):
+        source = {("a", 1, "x"): 2.0, ("a", 1, "y"): 1.0, ("b", 2, "x"): 4.0}
+        marginal = two_way_marginal(source, 0, 1)
+        assert marginal[("a", 1)] == 3.0
+        with pytest.raises(InvalidParameterError):
+            two_way_marginal(source, 1, 1)
+
+    def test_marginal_cells_join(self):
+        estimated = {"a": 9.0, "c": 1.0}
+        exact = {"a": 10.0, "b": 5.0}
+        cells = {cell.key: cell for cell in marginal_cells(estimated, exact)}
+        assert cells["a"].relative_error == pytest.approx(0.1)
+        assert cells["b"].estimate == 0.0
+        assert cells["c"].truth == 0.0
+        assert cells["c"].relative_error is None
+
+    def test_marginal_cells_min_truth_filter(self):
+        estimated = {"a": 9.0}
+        exact = {"a": 10.0, "tiny": 1.0}
+        cells = marginal_cells(estimated, exact, min_truth=5.0)
+        assert {cell.key for cell in cells} == {"a"}
+
+    def test_marginal_cell_properties(self):
+        cell = MarginalCell(key="k", estimate=8.0, truth=10.0)
+        assert cell.error == 2.0
+        assert cell.squared_error == 4.0
+
+    def test_relative_mse_by_size(self):
+        cells = [
+            MarginalCell("small", estimate=5.0, truth=10.0),
+            MarginalCell("large", estimate=95.0, truth=100.0),
+        ]
+        buckets = relative_mse_by_size(cells, bucket_edges=[20.0, 200.0])
+        assert buckets[0][2] == 1 and buckets[1][2] == 1
+        assert buckets[0][1] > buckets[1][1]
+        with pytest.raises(InvalidParameterError):
+            relative_mse_by_size(cells, bucket_edges=[])
+
+
+class TestQueryEngine:
+    def test_scalar_query_with_error(self):
+        sketch = UnbiasedSpaceSaving(capacity=4, seed=1)
+        sketch.update_stream(range(80))
+        engine = SketchQueryEngine(sketch)
+        result = engine.select_sum(where=lambda item: item < 40)
+        assert not result.is_grouped
+        assert result.value >= 0
+        assert result.with_error.variance >= 0
+
+    def test_grouped_query(self):
+        engine = SketchQueryEngine({("a", 1): 2.0, ("b", 1): 3.0})
+        result = engine.select_sum(group_by=lambda item: item[0])
+        assert result.is_grouped
+        assert result.groups == {"a": 2.0, "b": 3.0}
+        with pytest.raises(ValueError):
+            _ = result.value
+
+    def test_scalar_result_has_no_groups(self):
+        engine = SketchQueryEngine({"a": 1.0})
+        result = engine.select_sum()
+        with pytest.raises(ValueError):
+            _ = result.groups
+
+    def test_exact_engine_matches_truth(self):
+        counts = {("a", 1): 5, ("a", 2): 3, ("b", 1): 2}
+        engine = ExactQueryEngine(counts)
+        assert engine.select_sum(where=lambda item: item[0] == "a").value == 8.0
+        grouped = engine.select_sum(group_by=lambda item: item[0]).groups
+        assert grouped == {"a": 8.0, "b": 2.0}
+        assert engine.total() == 10.0
+
+    def test_exact_engine_accepts_aggregator(self):
+        engine = ExactQueryEngine(ExactAggregator({"a": 1}))
+        assert engine.total() == 1.0
+
+    def test_engine_total_matches_sketch(self):
+        sketch = UnbiasedSpaceSaving(capacity=5, seed=2)
+        sketch.update_stream(range(50))
+        assert SketchQueryEngine(sketch).total() == pytest.approx(50.0)

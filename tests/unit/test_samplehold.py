@@ -1,0 +1,172 @@
+"""Unit tests for the Sample-and-Hold family."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.samplehold.adaptive import AdaptiveSampleAndHold
+from repro.samplehold.counting_samples import CountingSampleSketch
+from repro.samplehold.step import StepSampleAndHold
+
+
+class TestCountingSamples:
+    def test_rate_one_is_exact(self):
+        rows = ["a"] * 5 + ["b"] * 2
+        sketch = CountingSampleSketch(sampling_rate=1.0, seed=0)
+        sketch.update_stream(rows)
+        truth = Counter(rows)
+        for item in truth:
+            assert sketch.estimate(item) == truth[item]
+
+    def test_rate_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CountingSampleSketch(sampling_rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            CountingSampleSketch(sampling_rate=1.5)
+
+    def test_unit_weight_only(self):
+        with pytest.raises(UnsupportedUpdateError):
+            CountingSampleSketch(sampling_rate=0.5).update("a", 2)
+
+    def test_estimates_unbiased_over_seeds(self):
+        rows = ["hot"] * 40 + [f"c{i}" for i in range(20)]
+        estimates = []
+        for seed in range(400):
+            sketch = CountingSampleSketch(sampling_rate=0.3, seed=seed)
+            sketch.update_stream(rows)
+            estimates.append(sketch.estimate("hot"))
+        standard_error = np.std(estimates) / np.sqrt(len(estimates))
+        assert abs(np.mean(estimates) - 40.0) <= 4 * standard_error + 0.5
+
+    def test_subset_sum_with_error(self):
+        sketch = CountingSampleSketch(sampling_rate=0.5, seed=1)
+        sketch.update_stream(["a"] * 10 + ["b"] * 5)
+        result = sketch.subset_sum_with_error(lambda item: True)
+        assert result.estimate > 0
+        assert result.variance >= 0
+
+    def test_raw_counts_exposed(self):
+        sketch = CountingSampleSketch(sampling_rate=1.0, seed=2)
+        sketch.update_stream(["a", "a", "b"])
+        assert sketch.raw_counts() == {"a": 2, "b": 1}
+
+
+class TestAdaptiveSampleAndHold:
+    def test_capacity_bounded(self):
+        sketch = AdaptiveSampleAndHold(capacity=12, seed=0)
+        sketch.update_stream(range(500))
+        assert len(sketch) <= 12
+        assert sketch.sampling_rate < 1.0
+        assert sketch.rate_changes > 0
+
+    def test_rate_decrease_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AdaptiveSampleAndHold(capacity=4, rate_decrease=1.0)
+        with pytest.raises(InvalidParameterError):
+            AdaptiveSampleAndHold(capacity=4, rate_decrease=0.0)
+
+    def test_unit_weight_only(self):
+        with pytest.raises(UnsupportedUpdateError):
+            AdaptiveSampleAndHold(capacity=4).update("a", 2)
+
+    def test_exact_while_under_capacity(self):
+        sketch = AdaptiveSampleAndHold(capacity=10, seed=1)
+        sketch.update_stream(["a"] * 4 + ["b"] * 2)
+        assert sketch.estimate("a") == 4.0
+        assert sketch.estimate("b") == 2.0
+
+    def test_frequent_item_estimate_roughly_unbiased(self):
+        rows = ["hot"] * 60 + [f"c{i}" for i in range(60)]
+        estimates = []
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            shuffled = list(rng.permutation(np.array(rows, dtype=object)))
+            sketch = AdaptiveSampleAndHold(capacity=20, seed=seed)
+            sketch.update_stream(shuffled)
+            estimates.append(sketch.estimate("hot"))
+        # The adjustment is only approximately unbiased for items that churn;
+        # the frequent item should be recovered within a modest tolerance.
+        assert np.mean(estimates) == pytest.approx(60.0, rel=0.2)
+
+    def test_noisier_than_unbiased_space_saving(self):
+        """§5.4: sample-and-hold adds more noise per reduction than the sketch."""
+        from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+
+        rows = []
+        for index in range(80):
+            rows.extend([f"i{index}"] * ((index % 4) + 1))
+        subset = {f"i{index}" for index in range(0, 80, 5)}
+        truth = sum((index % 4) + 1 for index in range(0, 80, 5))
+        uss_errors = []
+        ash_errors = []
+        for seed in range(150):
+            rng = np.random.default_rng(seed)
+            shuffled = list(rng.permutation(np.array(rows, dtype=object)))
+            uss = UnbiasedSpaceSaving(capacity=25, seed=seed)
+            uss.update_stream(shuffled)
+            ash = AdaptiveSampleAndHold(capacity=25, seed=seed)
+            ash.update_stream(shuffled)
+            predicate = lambda item: item in subset  # noqa: E731
+            uss_errors.append((uss.subset_sum(predicate) - truth) ** 2)
+            ash_errors.append((ash.subset_sum(predicate) - truth) ** 2)
+        assert np.mean(uss_errors) <= np.mean(ash_errors) * 1.5
+
+    def test_subset_sum_with_error(self):
+        sketch = AdaptiveSampleAndHold(capacity=8, seed=3)
+        sketch.update_stream(range(200))
+        result = sketch.subset_sum_with_error(lambda item: item < 100)
+        assert result.variance >= 0
+
+
+class TestStepSampleAndHold:
+    def test_capacity_bounded_and_steps_recorded(self):
+        sketch = StepSampleAndHold(capacity=10, seed=0)
+        sketch.update_stream(range(400))
+        assert len(sketch) <= 10
+        assert sketch.current_step > 0
+        assert len(sketch.step_rates) == sketch.current_step + 1
+
+    def test_rate_decrease_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StepSampleAndHold(capacity=4, rate_decrease=2.0)
+
+    def test_unit_weight_only(self):
+        with pytest.raises(UnsupportedUpdateError):
+            StepSampleAndHold(capacity=4).update("a", 3)
+
+    def test_exact_while_under_capacity(self):
+        sketch = StepSampleAndHold(capacity=10, seed=1)
+        sketch.update_stream(["a"] * 3 + ["b"])
+        assert sketch.estimate("a") == 3.0
+        assert sketch.per_step_counts("a") == {0: 3}
+
+    def test_storage_cells_counts_all_steps(self):
+        sketch = StepSampleAndHold(capacity=6, seed=2)
+        sketch.update_stream([f"i{k % 12}" for k in range(300)])
+        assert sketch.storage_cells() >= len(sketch)
+
+    def test_frequent_item_estimate_close(self):
+        rows = ["hot"] * 100 + [f"c{i}" for i in range(60)]
+        estimates = []
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            shuffled = list(rng.permutation(np.array(rows, dtype=object)))
+            sketch = StepSampleAndHold(capacity=30, seed=seed)
+            sketch.update_stream(shuffled)
+            estimates.append(sketch.estimate("hot"))
+        # The implementation documents a simplified estimator: entry-coin
+        # re-tosses lose pre-re-entry mass, so the recovered count is biased
+        # low when the sketch churns.  It must still land in the right
+        # ballpark for a clearly frequent item.
+        assert np.mean(estimates) == pytest.approx(100.0, rel=0.45)
+
+    def test_subset_sum_with_error(self):
+        sketch = StepSampleAndHold(capacity=8, seed=3)
+        sketch.update_stream(range(120))
+        result = sketch.subset_sum_with_error(lambda item: True)
+        assert result.estimate >= 0
+        assert result.variance >= 0

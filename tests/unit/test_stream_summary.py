@@ -1,0 +1,215 @@
+"""Unit tests for the Stream-Summary data structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.stream_summary import StreamSummary
+from repro.errors import InvalidParameterError, SketchStateError
+
+
+class TestBasicOperations:
+    def test_empty_summary_has_zero_length(self):
+        assert len(StreamSummary()) == 0
+        assert not StreamSummary()
+
+    def test_insert_and_count(self):
+        summary = StreamSummary()
+        summary.insert("a", 3)
+        assert summary.count("a") == 3
+        assert "a" in summary
+        assert len(summary) == 1
+
+    def test_insert_with_default_zero_count(self):
+        summary = StreamSummary()
+        summary.insert("a")
+        assert summary.count("a") == 0
+
+    def test_get_returns_default_for_missing(self):
+        summary = StreamSummary()
+        assert summary.get("missing") == 0
+        assert summary.get("missing", default=7) == 7
+
+    def test_count_raises_for_missing_item(self):
+        with pytest.raises(KeyError):
+            StreamSummary().count("missing")
+
+    def test_duplicate_insert_rejected(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        with pytest.raises(InvalidParameterError):
+            summary.insert("a", 2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StreamSummary().insert("a", -1)
+
+    def test_remove_returns_count_and_deletes(self):
+        summary = StreamSummary()
+        summary.insert("a", 5)
+        assert summary.remove("a") == 5
+        assert "a" not in summary
+        assert len(summary) == 0
+
+
+class TestMinTracking:
+    def test_min_count_and_label(self):
+        summary = StreamSummary()
+        summary.insert("a", 5)
+        summary.insert("b", 2)
+        summary.insert("c", 9)
+        assert summary.min_count() == 2
+        assert summary.min_label() == "b"
+
+    def test_max_count(self):
+        summary = StreamSummary()
+        summary.insert("a", 5)
+        summary.insert("b", 2)
+        assert summary.max_count() == 5
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(SketchStateError):
+            StreamSummary().min_count()
+        with pytest.raises(SketchStateError):
+            StreamSummary().min_label()
+        with pytest.raises(SketchStateError):
+            StreamSummary().min_labels()
+
+    def test_min_labels_returns_all_ties(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 1)
+        summary.insert("c", 2)
+        assert set(summary.min_labels()) == {"a", "b"}
+
+    def test_random_tie_breaking_uses_rng(self):
+        rng = random.Random(0)
+        summary = StreamSummary(rng=rng)
+        for label in "abcdefgh":
+            summary.insert(label, 1)
+        picks = {summary.min_label() for _ in range(50)}
+        assert len(picks) > 1
+
+    def test_min_updates_after_increment(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 2)
+        summary.increment("a", 5)
+        assert summary.min_label() == "b"
+        assert summary.min_count() == 2
+
+
+class TestIncrement:
+    def test_unit_increment(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        assert summary.increment("a") == 2
+        assert summary.count("a") == 2
+
+    def test_increment_by_larger_step(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 3)
+        assert summary.increment("a", 10) == 11
+        assert summary.count("a") == 11
+        summary.check_invariants()
+
+    def test_increment_zero_is_noop(self):
+        summary = StreamSummary()
+        summary.insert("a", 4)
+        assert summary.increment("a", 0) == 4
+
+    def test_negative_increment_rejected(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        with pytest.raises(InvalidParameterError):
+            summary.increment("a", -1)
+
+    def test_increment_merges_into_existing_bucket(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 2)
+        summary.increment("a")
+        # Both now share the count-2 bucket.
+        assert summary.count("a") == summary.count("b") == 2
+        summary.check_invariants()
+
+    def test_increment_min_returns_label_and_count(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 5)
+        label, count = summary.increment_min()
+        assert label == "a"
+        assert count == 2
+
+
+class TestRelabel:
+    def test_relabel_preserves_count(self):
+        summary = StreamSummary()
+        summary.insert("old", 7)
+        summary.relabel("old", "new")
+        assert "old" not in summary
+        assert summary.count("new") == 7
+
+    def test_relabel_to_existing_label_rejected(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 2)
+        with pytest.raises(InvalidParameterError):
+            summary.relabel("a", "b")
+
+    def test_relabel_missing_raises(self):
+        with pytest.raises(KeyError):
+            StreamSummary().relabel("ghost", "new")
+
+
+class TestIterationAndInvariants:
+    def test_items_sorted_by_count(self):
+        summary = StreamSummary()
+        summary.insert("c", 3)
+        summary.insert("a", 1)
+        summary.insert("b", 2)
+        counts = [count for _, count in summary.items()]
+        assert counts == sorted(counts)
+
+    def test_counts_snapshot(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 2)
+        assert summary.counts() == {"a": 1, "b": 2}
+
+    def test_invariants_hold_under_random_workload(self):
+        rng = random.Random(7)
+        summary = StreamSummary()
+        live = []
+        for step in range(500):
+            action = rng.random()
+            if action < 0.4 or not live:
+                label = f"item{step}"
+                summary.insert(label, rng.randrange(4))
+                live.append(label)
+            elif action < 0.8:
+                summary.increment(rng.choice(live), rng.randrange(1, 5))
+            elif action < 0.9 and len(live) > 1:
+                victim = live.pop(rng.randrange(len(live)))
+                summary.remove(victim)
+            else:
+                old = live.pop(rng.randrange(len(live)))
+                new = f"re{step}"
+                summary.relabel(old, new)
+                live.append(new)
+            summary.check_invariants()
+        assert len(summary) == len(live)
+
+    def test_unlink_head_and_tail_buckets(self):
+        summary = StreamSummary()
+        summary.insert("a", 1)
+        summary.insert("b", 5)
+        summary.remove("a")
+        assert summary.min_count() == 5
+        summary.remove("b")
+        assert len(summary) == 0
+        summary.insert("c", 3)
+        assert summary.min_count() == summary.max_count() == 3

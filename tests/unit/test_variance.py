@@ -1,0 +1,132 @@
+"""Unit tests for variance estimation and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.variance import (
+    EstimateWithError,
+    coverage,
+    normal_confidence_interval,
+    poisson_pps_variance,
+    pps_variance_bound,
+    subset_variance_estimate,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSubsetVarianceEstimate:
+    def test_matches_equation_five(self):
+        assert subset_variance_estimate(10.0, 3) == 300.0
+
+    def test_empty_subset_still_reports_one_unit(self):
+        assert subset_variance_estimate(5.0, 0) == 25.0
+
+    def test_zero_min_count_gives_zero_variance(self):
+        assert subset_variance_estimate(0.0, 7) == 0.0
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            subset_variance_estimate(-1.0, 2)
+        with pytest.raises(InvalidParameterError):
+            subset_variance_estimate(1.0, -2)
+
+
+class TestPPSVariance:
+    def test_bound_zero_for_certain_items(self):
+        assert pps_variance_bound(100.0, 1.0, 10.0) == 0.0
+
+    def test_bound_formula(self):
+        assert pps_variance_bound(10.0, 0.25, 4.0) == pytest.approx(4.0 * 10.0 * 0.75)
+
+    def test_bound_validates_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            pps_variance_bound(1.0, 1.5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            pps_variance_bound(-1.0, 0.5, 1.0)
+
+    def test_poisson_variance_zero_when_all_certain(self):
+        assert poisson_pps_variance([10.0, 20.0], alpha=5.0) == 0.0
+
+    def test_poisson_variance_positive_for_tail_items(self):
+        variance = poisson_pps_variance([1.0, 2.0, 100.0], alpha=10.0)
+        expected = 1.0 * (1 - 0.1) / 0.1 + 4.0 * (1 - 0.2) / 0.2
+        assert variance == pytest.approx(expected)
+
+    def test_poisson_variance_validates_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_pps_variance([1.0], alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            poisson_pps_variance([-1.0], alpha=1.0)
+
+
+class TestConfidenceIntervals:
+    def test_interval_is_symmetric_around_estimate(self):
+        low, high = normal_confidence_interval(100.0, 25.0, 0.95)
+        assert (low + high) / 2 == pytest.approx(100.0)
+        assert high - low == pytest.approx(2 * 1.959963984540054 * 5.0, rel=1e-6)
+
+    def test_zero_variance_gives_degenerate_interval(self):
+        assert normal_confidence_interval(3.0, 0.0) == (3.0, 3.0)
+
+    def test_higher_confidence_widens_interval(self):
+        narrow = normal_confidence_interval(0.0, 1.0, 0.80)
+        wide = normal_confidence_interval(0.0, 1.0, 0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normal_confidence_interval(0.0, 1.0, 0.0)
+        with pytest.raises(InvalidParameterError):
+            normal_confidence_interval(0.0, 1.0, 1.0)
+
+    def test_negative_variance_clamped(self):
+        low, high = normal_confidence_interval(1.0, -4.0)
+        assert (low, high) == (1.0, 1.0)
+
+
+class TestCoverage:
+    def test_full_and_zero_coverage(self):
+        intervals = [(0.0, 2.0), (1.0, 3.0)]
+        assert coverage(intervals, [1.0, 2.0]) == 1.0
+        assert coverage(intervals, [5.0, 6.0]) == 0.0
+
+    def test_partial_coverage(self):
+        intervals = [(0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0)]
+        truths = [0.5, 2.0, 0.7, -1.0]
+        assert coverage(intervals, truths) == 0.5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            coverage([(0.0, 1.0)], [1.0, 2.0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            coverage([], [])
+
+
+class TestEstimateWithError:
+    def test_std_error_is_square_root_of_variance(self):
+        estimate = EstimateWithError(estimate=10.0, variance=16.0)
+        assert estimate.std_error == 4.0
+
+    def test_negative_variance_clamped_in_std_error(self):
+        estimate = EstimateWithError(estimate=10.0, variance=-4.0)
+        assert estimate.std_error == 0.0
+
+    def test_confidence_interval_delegates(self):
+        estimate = EstimateWithError(estimate=0.0, variance=1.0)
+        low, high = estimate.confidence_interval(0.95)
+        assert low == pytest.approx(-1.96, abs=0.01)
+        assert high == pytest.approx(1.96, abs=0.01)
+
+    def test_relative_error_bound(self):
+        estimate = EstimateWithError(estimate=100.0, variance=25.0)
+        bound = estimate.relative_error_bound(0.95)
+        assert bound == pytest.approx(1.96 * 5.0 / 100.0, rel=1e-3)
+
+    def test_relative_error_bound_infinite_for_zero_estimate(self):
+        estimate = EstimateWithError(estimate=0.0, variance=1.0)
+        assert math.isinf(estimate.relative_error_bound())
