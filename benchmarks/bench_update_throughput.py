@@ -1,32 +1,235 @@
-"""Update throughput micro-benchmarks (§6.7: O(1) updates, O(m) space).
+"""Update throughput benchmarks: scalar vs batched vs sharded ingestion.
 
-Unlike the figure benchmarks these are true micro-benchmarks: pytest-benchmark
-times repeated rounds of streaming a fixed workload through each sketch so
-their per-row update costs can be compared.
+Two layers live in this file:
+
+* **Ingestion comparison** (the repo's bench trajectory record) — run
+
+      PYTHONPATH=src python benchmarks/bench_update_throughput.py
+
+  to stream a 1M-row Zipf workload through Unbiased Space Saving three
+  ways — the scalar ``update`` loop, the vectorized ``update_batch`` fast
+  path, and the hash-partitioned ``ShardedSketch`` executor — and emit a
+  JSON perf record (printed, and written to
+  ``benchmarks/results/update_throughput.json``).  The record includes an
+  equivalence section verifying that all three modes preserve the exact
+  stream total and agree on the heavy hitters.
+
+* **pytest-benchmark micro-benchmarks** (§6.7: O(1) updates, O(m) space) —
+  ``pytest benchmarks/bench_update_throughput.py`` times repeated rounds of
+  a fixed workload through each sketch so per-row update costs can be
+  compared, now including batched counterparts for the batch-capable
+  sketches.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 import pytest
 
 from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.sharded import ShardedSketch
 from repro.frequent.countmin import CountMinSketch
 from repro.frequent.misra_gries import MisraGriesSketch
 from repro.samplehold.adaptive import AdaptiveSampleAndHold
 from repro.sampling.bottom_k import BottomKSketch
-from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.frequency import scaled_weibull_counts, zipf_counts
 from repro.streams.generators import exchangeable_stream, iterate_rows
 
 ROWS = 50_000
 CAPACITY = 256
 
+RESULTS_PATH = Path(__file__).resolve().parent / "results" / "update_throughput.json"
 
+
+# ----------------------------------------------------------------------
+# Ingestion comparison: scalar vs batched vs sharded
+# ----------------------------------------------------------------------
+def make_zipf_rows(
+    rows: int = 1_000_000,
+    num_items: int = 10_000,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """An exchangeable 1M-row (by default) Zipf stream as a numpy array."""
+    model = zipf_counts(num_items=num_items, exponent=exponent, total=rows)
+    stream = exchangeable_stream(model, rng=np.random.default_rng(seed))
+    return np.asarray(stream, dtype=np.int64)
+
+
+def _timed(ingest: Callable[[], object]) -> "tuple[object, float]":
+    start = time.perf_counter()
+    sketch = ingest()
+    elapsed = time.perf_counter() - start
+    return sketch, elapsed
+
+
+def run_ingestion_comparison(
+    rows: int = 1_000_000,
+    *,
+    num_items: int = 10_000,
+    exponent: float = 1.1,
+    capacity: int = 256,
+    batch_rows: int = 100_000,
+    num_shards: int = 8,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time the three ingestion modes on one workload and build a JSON record."""
+    stream = make_zipf_rows(rows, num_items=num_items, exponent=exponent, seed=seed)
+    # Count rounding in the Zipf model can nudge the realized row count.
+    rows = int(len(stream))
+    scalar_rows = [int(value) for value in stream]
+    chunks = [
+        stream[start : start + batch_rows] for start in range(0, len(stream), batch_rows)
+    ]
+
+    def scalar() -> UnbiasedSpaceSaving:
+        sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+        update = sketch.update
+        for row in scalar_rows:
+            update(row)
+        return sketch
+
+    def batched() -> UnbiasedSpaceSaving:
+        sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+        for chunk in chunks:
+            sketch.update_batch(chunk)
+        return sketch
+
+    def sharded() -> ShardedSketch:
+        sketch = ShardedSketch(capacity, num_shards, seed=seed)
+        for chunk in chunks:
+            sketch.update_batch(chunk)
+        return sketch
+
+    sketches: Dict[str, object] = {}
+    modes: Dict[str, Dict[str, float]] = {}
+    for name, ingest in [("scalar", scalar), ("batched", batched), ("sharded", sharded)]:
+        sketch, elapsed = _timed(ingest)
+        sketches[name] = sketch
+        modes[name] = {
+            "seconds": round(elapsed, 4),
+            "rows_per_sec": round(rows / elapsed, 1),
+        }
+
+    top_true = {item for item, _ in zipf_top_k(num_items, exponent, rows, 10)}
+    equivalence = {
+        "stream_total": rows,
+        # Unbiased Space Saving preserves the total exactly in every mode.
+        "totals": {
+            name: round(total_of(sketch), 2) for name, sketch in sketches.items()
+        },
+        "rows_processed": {
+            name: sketch.rows_processed for name, sketch in sketches.items()
+        },
+        "top10_recall": {
+            name: round(
+                len(top_true & {item for item, _ in sketch.top_k(10)}) / 10, 2
+            )
+            for name, sketch in sketches.items()
+        },
+    }
+    record = {
+        "benchmark": "update_throughput",
+        "workload": {
+            "distribution": f"zipf(s={exponent:g})",
+            "rows": rows,
+            "num_items": num_items,
+            "order": "exchangeable",
+            "seed": seed,
+        },
+        "config": {
+            "sketch": "UnbiasedSpaceSaving",
+            "capacity": capacity,
+            "batch_rows": batch_rows,
+            "num_shards": num_shards,
+        },
+        "modes": modes,
+        "speedup": {
+            "batched_vs_scalar": round(
+                modes["scalar"]["seconds"] / modes["batched"]["seconds"], 2
+            ),
+            "sharded_vs_scalar": round(
+                modes["scalar"]["seconds"] / modes["sharded"]["seconds"], 2
+            ),
+        },
+        "equivalence": equivalence,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    return record
+
+
+def total_of(sketch) -> float:
+    """Total estimate for either a single sketch or a sharded ensemble."""
+    return float(sketch.total_estimate())
+
+
+def zipf_top_k(num_items: int, exponent: float, total: int, k: int):
+    """The true top-k of the Zipf model used by the comparison."""
+    model = zipf_counts(num_items=num_items, exponent=exponent, total=total)
+    ranked = sorted(model.counts.items(), key=lambda kv: -kv[1])
+    return ranked[:k]
+
+
+def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1_000_000)
+    parser.add_argument("--num-items", type=int, default=10_000)
+    parser.add_argument("--exponent", type=float, default=1.1)
+    parser.add_argument("--capacity", type=int, default=256)
+    parser.add_argument("--batch-rows", type=int, default=100_000)
+    parser.add_argument("--num-shards", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_PATH,
+        help="where to write the JSON perf record",
+    )
+    args = parser.parse_args(argv)
+    record = run_ingestion_comparison(
+        args.rows,
+        num_items=args.num_items,
+        exponent=args.exponent,
+        capacity=args.capacity,
+        batch_rows=args.batch_rows,
+        num_shards=args.num_shards,
+        seed=args.seed,
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    for mode, stats in record["modes"].items():
+        print(
+            f"{mode:>8}: {stats['seconds']:8.3f}s  "
+            f"{stats['rows_per_sec']:>12,.0f} rows/s"
+        )
+    print(
+        f"speedup: batched {record['speedup']['batched_vs_scalar']}x, "
+        f"sharded {record['speedup']['sharded_vs_scalar']}x vs scalar "
+        f"(record written to {args.output})"
+    )
+    return record
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark micro-benchmarks
+# ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def workload():
     model = scaled_weibull_counts(num_items=2_000, shape=0.3, target_total=ROWS)
     return list(iterate_rows(exchangeable_stream(model, rng=np.random.default_rng(0))))
+
+
+@pytest.fixture(scope="module")
+def workload_array(workload):
+    return np.asarray(workload, dtype=np.int64)
 
 
 def _ingest(sketch_factory, rows):
@@ -37,9 +240,31 @@ def _ingest(sketch_factory, rows):
     return sketch
 
 
+def _ingest_batched(sketch_factory, rows_array):
+    sketch = sketch_factory()
+    sketch.update_batch(rows_array)
+    return sketch
+
+
 def test_throughput_unbiased_space_saving(benchmark, workload):
     sketch = benchmark(_ingest, lambda: UnbiasedSpaceSaving(CAPACITY, seed=0), workload)
     assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_unbiased_space_saving_batched(benchmark, workload_array):
+    sketch = benchmark(
+        _ingest_batched, lambda: UnbiasedSpaceSaving(CAPACITY, seed=0), workload_array
+    )
+    assert sketch.rows_processed == len(workload_array)
+
+
+def test_throughput_sharded_batched(benchmark, workload_array):
+    sketch = benchmark(
+        _ingest_batched,
+        lambda: ShardedSketch(CAPACITY, num_shards=8, seed=0),
+        workload_array,
+    )
+    assert sketch.rows_processed == len(workload_array)
 
 
 def test_throughput_deterministic_space_saving(benchmark, workload):
@@ -62,8 +287,28 @@ def test_throughput_bottom_k(benchmark, workload):
     assert sketch.rows_processed == len(workload)
 
 
+def test_throughput_bottom_k_batched(benchmark, workload_array):
+    sketch = benchmark(
+        _ingest_batched, lambda: BottomKSketch(CAPACITY, seed=0), workload_array
+    )
+    assert sketch.rows_processed == len(workload_array)
+
+
 def test_throughput_countmin(benchmark, workload):
     sketch = benchmark(
         _ingest, lambda: CountMinSketch(width=1024, depth=4, seed=0), workload
     )
     assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_countmin_batched(benchmark, workload_array):
+    sketch = benchmark(
+        _ingest_batched,
+        lambda: CountMinSketch(width=1024, depth=4, seed=0),
+        workload_array,
+    )
+    assert sketch.rows_processed == len(workload_array)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,7 @@ import numpy as np
 from repro import UnbiasedSpaceSaving
 from repro.query.engine import SketchQueryEngine
 from repro.streams.frequency import scaled_weibull_counts
-from repro.streams.generators import exchangeable_stream, iterate_rows
+from repro.streams.generators import exchangeable_stream
 
 
 def main() -> None:
@@ -32,11 +32,12 @@ def main() -> None:
     print(f"stream: {ads.total:,} click rows over {ads.num_items:,} ads")
 
     # ------------------------------------------------------------------
-    # 2. Feed the raw (disaggregated) rows into the sketch.
+    # 2. Feed the raw (disaggregated) rows into the sketch.  update_batch is
+    #    the vectorized fast path; the scalar equivalent is
+    #    ``for ad_id in iterate_rows(stream): sketch.update(ad_id)``.
     # ------------------------------------------------------------------
     sketch = UnbiasedSpaceSaving(capacity=500, seed=42)
-    for ad_id in iterate_rows(stream):
-        sketch.update(ad_id)
+    sketch.update_batch(stream)
     print(f"sketch: {len(sketch)} bins retained, total preserved exactly = "
           f"{sketch.total_estimate():,.0f}")
 

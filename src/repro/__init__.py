@@ -14,15 +14,20 @@ out by subsystem:
 * :mod:`repro.streams` — synthetic workloads, pathological orderings and the
   Criteo-like ad impression generator.
 * :mod:`repro.query` — subset sums, marginals, filters, SQL-ish engine.
-* :mod:`repro.distributed` — partitioning and simulated map-reduce merging.
+* :mod:`repro.distributed` — partitioning, the sharded executor and
+  simulated map-reduce merging.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
+
+Every sketch ingests rows one at a time via ``update(item, weight)`` or in
+bulk via the vectorized ``update_batch(items, weights)`` fast path;
+:class:`~repro.distributed.sharded.ShardedSketch` scales batched ingestion
+across hash-partitioned shards.
 
 Quickstart
 ----------
 >>> from repro import UnbiasedSpaceSaving
 >>> sketch = UnbiasedSpaceSaving(capacity=100, seed=42)
->>> for click in ["ad1", "ad2", "ad1", "ad3"]:
-...     sketch.update(click)
+>>> _ = sketch.update_batch(["ad1", "ad2", "ad1", "ad3"])
 >>> sketch.subset_sum(lambda ad: ad in {"ad1", "ad3"})
 3.0
 """
@@ -35,9 +40,11 @@ from repro.core import (
     GeneralizedSpaceSaving,
     SignedUnbiasedSpaceSaving,
     UnbiasedSpaceSaving,
+    collapse_batch,
     merge_many_unbiased,
     merge_unbiased,
 )
+from repro.distributed import ShardedSketch
 from repro.query import SketchQueryEngine, SubsetSumEstimator
 from repro.version import __version__
 
@@ -47,8 +54,10 @@ __all__ = [
     "EstimateWithError",
     "ForwardDecaySketch",
     "GeneralizedSpaceSaving",
+    "ShardedSketch",
     "SignedUnbiasedSpaceSaving",
     "UnbiasedSpaceSaving",
+    "collapse_batch",
     "merge_many_unbiased",
     "merge_unbiased",
     "SketchQueryEngine",

@@ -8,6 +8,7 @@ estimation, time decay, adaptive sizing and signed updates.
 """
 
 from repro.core.adaptive import AdaptiveUnbiasedSpaceSaving
+from repro.core.batching import collapse_batch
 from repro.core.base import (
     BinStore,
     FrequentItemSketch,
@@ -74,4 +75,5 @@ __all__ = [
     "subset_variance_estimate",
     "SignedUnbiasedSpaceSaving",
     "weighted_stream_to_unit_rows",
+    "collapse_batch",
 ]

@@ -25,6 +25,7 @@ import random
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro._typing import Item, ItemPredicate
+from repro.core.batching import collapse_batch
 from repro.core.stream_summary import StreamSummary
 from repro.errors import (
     EmptySketchError,
@@ -74,6 +75,16 @@ class BinStore(abc.ABC):
     @abc.abstractmethod
     def increment(self, item: Item, by: float) -> float:
         """Add ``by`` to ``item``'s counter and return the new value."""
+
+    def increment_batch(self, pairs: Iterable[Tuple[Item, float]]) -> None:
+        """Increment several existing labels in one call.
+
+        Equivalent to calling :meth:`increment` once per pair in order.
+        Implementations may override it to amortize per-call overhead; every
+        label must already be present.
+        """
+        for item, by in pairs:
+            self.increment(item, by)
 
     @abc.abstractmethod
     def relabel(self, old: Item, new: Item) -> None:
@@ -133,6 +144,16 @@ class StreamSummaryBinStore(BinStore):
                 "StreamSummaryBinStore only supports integer increments"
             )
         return float(self._summary.increment(item, int(by)))
+
+    def increment_batch(self, pairs: Iterable[Tuple[Item, float]]) -> None:
+        checked = []
+        for item, by in pairs:
+            if by != int(by):
+                raise UnsupportedUpdateError(
+                    "StreamSummaryBinStore only supports integer increments"
+                )
+            checked.append((item, int(by)))
+        self._summary.increment_many(checked)
 
     def relabel(self, old: Item, new: Item) -> None:
         self._summary.relabel(old, new)
@@ -298,6 +319,52 @@ class FrequentItemSketch(abc.ABC):
                 self.update(item, float(weight))
             else:
                 self.update(row)
+        return self
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "FrequentItemSketch":
+        """Ingest a whole batch of rows at once.
+
+        The batch is first collapsed with
+        :func:`repro.core.batching.collapse_batch` — all rows for the same
+        item within the batch are pre-aggregated into a single weighted
+        update — and then applied as one :meth:`update` per distinct item in
+        first-occurrence order.  A pre-aggregated batch is itself a valid
+        weighted stream, so every estimator guarantee (unbiasedness,
+        deterministic error bounds) carries over; for purely additive
+        sketches the result is bit-identical to the raw row loop.
+
+        ``rows_processed`` advances by the number of raw rows in the batch
+        and ``total_weight`` by their summed weight, exactly as if the rows
+        had been fed one at a time.
+
+        Sketches whose ``update`` is defined for unit rows only (Lossy
+        Counting, Sticky Sampling, Sample-and-Hold) accept batches through
+        this path only when no item repeats within the batch — a collapsed
+        duplicate produces a weight above 1, which their ``update``
+        rejects explicitly rather than misapplies.
+
+        Parameters
+        ----------
+        items:
+            Item labels, one per raw row — a numpy array (vectorized
+            collapse), list or any iterable of hashable items.
+        weights:
+            Optional per-row weights aligned with ``items``; ``None`` means
+            unit weights.  Weight validation applies to the *aggregated*
+            per-item weights.
+
+        Returns ``self`` to allow fluent construction.
+        """
+        unique, collapsed, row_count, _ = collapse_batch(items, weights)
+        for item, weight in zip(unique, collapsed):
+            self.update(item, weight)
+        # update() recorded one row per distinct item; account for the
+        # collapsed duplicates so rows_processed reflects raw rows.
+        self._rows_processed += row_count - len(unique)
         return self
 
     def _tuple_is_item(self, row: Tuple) -> bool:

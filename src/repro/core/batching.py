@@ -1,0 +1,142 @@
+"""Batch ingestion helpers: collapse a disaggregated batch before updating.
+
+Every sketch in this package consumes a *disaggregated* stream — one
+``update(item, weight)`` call per raw row.  That Python-loop hot path caps
+throughput far below what the underlying O(1)/O(log m) structures can
+sustain.  The batched ingestion subsystem built on this module exploits a
+simple observation: within one batch, all rows for the same item can be
+pre-aggregated into a single weighted update without giving up any of the
+estimator guarantees (a pre-aggregated batch is itself a valid weighted
+stream, and the weighted update is the paper's §5.3 pairwise PPS reduction).
+
+:func:`collapse_batch` is the shared primitive: it reduces a batch of
+``(item, weight)`` rows to one ``(item, total_weight)`` pair per distinct
+item, in first-occurrence order, using a vectorized :func:`numpy.unique` /
+:func:`numpy.bincount` path for numpy arrays and an ordered dict-collapse
+for generic Python sequences.  ``FrequentItemSketch.update_batch`` and the
+per-sketch overrides all funnel through it, so the batch semantics are
+identical everywhere:
+
+* The batch is equivalent to a scalar ``update`` loop over the collapsed
+  ``(item, weight)`` pairs in first-occurrence order.  For purely additive
+  sketches (CountMin without conservative update, Count Sketch, bottom-k)
+  this is also exactly equivalent to the raw row loop.
+* ``rows_processed`` advances by the number of *raw* rows in the batch, not
+  by the number of distinct items, so throughput accounting is unchanged.
+* Numpy scalar labels are normalized to Python scalars (matching
+  :func:`repro.streams.generators.iterate_rows`) so that repr-based hashing
+  is consistent between the scalar and batched paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro._typing import Item
+from repro.errors import InvalidParameterError
+
+__all__ = ["CollapsedBatch", "collapse_batch"]
+
+#: ``(unique_items, collapsed_weights, row_count, total_weight)`` — the
+#: result of :func:`collapse_batch`.  ``unique_items`` preserves first
+#: occurrence order and ``collapsed_weights`` is aligned with it.
+CollapsedBatch = Tuple[List[Item], List[float], int, float]
+
+WeightsLike = Optional[Union[np.ndarray, Sequence[float]]]
+
+
+def _collapse_numpy(items: np.ndarray, weights: Optional[np.ndarray]) -> CollapsedBatch:
+    """Vectorized collapse of a 1-d numpy item array."""
+    row_count = int(items.size)
+    if row_count == 0:
+        return [], [], 0, 0.0
+    unique, first_index, inverse = np.unique(
+        items, return_index=True, return_inverse=True
+    )
+    if weights is None:
+        sums = np.bincount(inverse, minlength=unique.size).astype(np.float64)
+        total = float(row_count)
+    else:
+        sums = np.bincount(
+            inverse, weights=weights.astype(np.float64), minlength=unique.size
+        )
+        total = float(weights.sum())
+    # np.unique sorts by value; restore first-occurrence order so the batch
+    # is order-deterministic regardless of the input container type.
+    order = np.argsort(first_index, kind="stable")
+    # .tolist() yields Python scalars, keeping repr-based hashing consistent
+    # with the scalar update path (see iterate_rows).
+    return unique[order].tolist(), sums[order].tolist(), row_count, total
+
+
+def _collapse_generic(
+    items: Iterable[Item], weights: Optional[Sequence[float]]
+) -> CollapsedBatch:
+    """Ordered dict-collapse for arbitrary hashable item sequences."""
+    aggregated: Dict[Item, float] = {}
+    row_count = 0
+    total = 0.0
+    if weights is None:
+        for item in items:
+            row_count += 1
+            aggregated[item] = aggregated.get(item, 0.0) + 1.0
+        total = float(row_count)
+    else:
+        items_list = items if isinstance(items, (list, tuple)) else list(items)
+        if len(items_list) != len(weights):
+            raise InvalidParameterError(
+                f"items and weights must align: got {len(items_list)} items "
+                f"and {len(weights)} weights"
+            )
+        for item, weight in zip(items_list, weights):
+            row_count += 1
+            weight = float(weight)
+            aggregated[item] = aggregated.get(item, 0.0) + weight
+            total += weight
+    return list(aggregated), list(aggregated.values()), row_count, total
+
+
+def collapse_batch(items: Iterable[Item], weights: WeightsLike = None) -> CollapsedBatch:
+    """Pre-aggregate a batch of rows into one weighted update per distinct item.
+
+    Parameters
+    ----------
+    items:
+        The batch's item labels — a numpy array (fast path), list, tuple or
+        any iterable of hashable items.
+    weights:
+        Optional per-row weights aligned with ``items``; ``None`` means unit
+        weight per row.
+
+    Returns
+    -------
+    ``(unique_items, collapsed_weights, row_count, total_weight)`` where
+    ``unique_items`` lists each distinct item once in first-occurrence order,
+    ``collapsed_weights[i]`` is the summed weight of ``unique_items[i]``
+    within the batch, ``row_count`` is the number of raw rows and
+    ``total_weight`` their summed weight.
+    """
+    if isinstance(items, np.ndarray):
+        if items.ndim != 1:
+            raise InvalidParameterError(
+                f"item arrays must be 1-dimensional, got shape {items.shape}"
+            )
+        if weights is not None:
+            weights_array = np.asarray(weights, dtype=np.float64)
+            if weights_array.shape != items.shape:
+                raise InvalidParameterError(
+                    f"items and weights must align: got shapes "
+                    f"{items.shape} and {weights_array.shape}"
+                )
+        else:
+            weights_array = None
+        if items.dtype != object:
+            return _collapse_numpy(items, weights_array)
+        return _collapse_generic(
+            items.tolist(), None if weights_array is None else weights_array.tolist()
+        )
+    if weights is not None and not isinstance(weights, (list, tuple)):
+        weights = list(weights)
+    return _collapse_generic(items, weights)

@@ -16,7 +16,7 @@ figures 7 and 10).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro._typing import Item
 from repro.core.base import (
@@ -25,6 +25,7 @@ from repro.core.base import (
     HeapBinStore,
     StreamSummaryBinStore,
 )
+from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
 __all__ = ["DeterministicSpaceSaving"]
@@ -112,6 +113,48 @@ class DeterministicSpaceSaving(FrequentItemSketch):
         store.relabel(min_label, item)
         del self._acquisition_error[min_label]
         self._acquisition_error[item] = min_count
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "DeterministicSpaceSaving":
+        """Batched ingestion: collapse duplicates, then apply weighted updates.
+
+        Equivalent to a scalar :meth:`update` loop over the batch's collapsed
+        ``(item, summed weight)`` pairs in first-occurrence order, with the
+        per-call bookkeeping hoisted.  ``rows_processed`` counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        if min(collapsed) <= 0:
+            raise UnsupportedUpdateError(
+                "Deterministic Space Saving requires positive weights"
+            )
+        store = self._store
+        capacity = self._capacity
+        if all(item in store for item in unique):
+            store.increment_batch(list(zip(unique, collapsed)))
+        else:
+            acquisition_error = self._acquisition_error
+            for item, weight in zip(unique, collapsed):
+                if item in store:
+                    store.increment(item, weight)
+                    continue
+                if len(store) < capacity:
+                    store.insert(item, weight)
+                    acquisition_error[item] = 0.0
+                    continue
+                min_label = store.min_label()
+                min_count = store.get(min_label)
+                store.increment(min_label, weight)
+                store.relabel(min_label, item)
+                del acquisition_error[min_label]
+                acquisition_error[item] = min_count
+        self._rows_processed += row_count
+        self._total_weight += total
+        return self
 
     # ------------------------------------------------------------------
     # Queries

@@ -26,7 +26,7 @@ Example
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro._typing import Item
 from repro.errors import InvalidParameterError, SketchStateError
@@ -214,6 +214,32 @@ class StreamSummary:
         del bucket.labels[old]
         bucket.labels[new] = None
         self._index[new] = bucket
+
+    def increment_many(self, pairs: Iterable[Tuple[Item, int]]) -> None:
+        """Bulk form of :meth:`increment` for the batched ingestion path.
+
+        Applies ``increment(item, by)`` for every pair in order with the
+        per-call validation hoisted out of the loop.  Every label must
+        already be present; the final state is identical to sequential
+        :meth:`increment` calls.
+        """
+        staged = pairs if isinstance(pairs, list) else list(pairs)
+        for item, by in staged:
+            if by < 0:
+                raise InvalidParameterError("increment must be non-negative")
+            if item not in self._index:
+                raise KeyError(item)
+        for item, by in staged:
+            if by == 0:
+                continue
+            bucket = self._index[item]
+            new_count = bucket.count + by
+            target = self._bucket_at_or_after(bucket, new_count)
+            del bucket.labels[item]
+            target.labels[item] = None
+            self._index[item] = target
+            if not bucket.labels:
+                self._unlink(bucket)
 
     def increment_min(self, by: int = 1) -> Tuple[Item, int]:
         """Increment a minimum-count bin and return ``(label, new_count)``."""

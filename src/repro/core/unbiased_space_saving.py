@@ -23,7 +23,7 @@ sum it reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro._typing import Item, ItemPredicate
 from repro.core.base import (
@@ -32,6 +32,7 @@ from repro.core.base import (
     StreamSummaryBinStore,
     SubsetSumSketch,
 )
+from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError, subset_variance_estimate
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
@@ -165,6 +166,68 @@ class UnbiasedSpaceSaving(SubsetSumSketch):
             self._label_replacements += 1
         # Silence the unused-variable lint for readability of the formula.
         del min_count
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "UnbiasedSpaceSaving":
+        """Batched ingestion: collapse duplicates, then apply weighted updates.
+
+        Equivalent to a scalar :meth:`update` loop over the batch's collapsed
+        ``(item, summed weight)`` pairs in first-occurrence order (including
+        the random label replacement draws), with the per-call bookkeeping
+        hoisted out of the loop.  Collapsing preserves unbiasedness because a
+        weighted update *is* the §5.3 pairwise PPS reduction of the collapsed
+        rows.  ``rows_processed`` still counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        return self._ingest_collapsed(unique, collapsed, row_count, total)
+
+    def _ingest_collapsed(
+        self,
+        unique: List[Item],
+        collapsed: List[float],
+        row_count: int,
+        total: float,
+    ) -> "UnbiasedSpaceSaving":
+        """Apply an already-collapsed batch (one weighted pair per item).
+
+        Backs :meth:`update_batch` and the sharded executor, which collapses
+        globally before routing and must not pay a second collapse per shard.
+        """
+        if not unique:
+            return self
+        if min(collapsed) <= 0:
+            raise UnsupportedUpdateError(
+                "Unbiased Space Saving requires positive weights; "
+                "see repro.core.weighted for signed updates"
+            )
+        if any(weight != int(weight) for weight in collapsed):
+            self._ensure_float_store()
+        store = self._store
+        capacity = self._capacity
+        if all(item in store for item in unique):
+            # Steady-state fast path: every batch item already owns a bin, so
+            # the whole batch is a commutative set of increments.
+            store.increment_batch(list(zip(unique, collapsed)))
+        else:
+            rng_random = self._rng.random
+            for item, weight in zip(unique, collapsed):
+                if item in store:
+                    store.increment(item, weight)
+                    continue
+                if len(store) < capacity:
+                    store.insert(item, weight)
+                    continue
+                min_label = store.min_label()
+                new_count = store.increment(min_label, weight)
+                if rng_random() * new_count < weight:
+                    store.relabel(min_label, item)
+                    self._label_replacements += 1
+        self._rows_processed += row_count
+        self._total_weight += total
+        return self
 
     def _ensure_float_store(self) -> None:
         """Migrate from the integer store to the heap store in place."""

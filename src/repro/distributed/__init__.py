@@ -1,4 +1,16 @@
-"""Distributed ingestion: partitioning strategies and simulated map-reduce merges."""
+"""Distributed ingestion: partitioning, sharded execution and map-reduce merges.
+
+Three layers of the scale-out story live here:
+
+* :mod:`repro.distributed.partition` — strategies for splitting a raw event
+  stream across workers (hash, round-robin, key-range), including the
+  weighted batch variant used by the sharded executor.
+* :mod:`repro.distributed.sharded` — :class:`ShardedSketch`, a live
+  hash-partitioned ensemble of Unbiased Space Saving sketches with batched
+  ingestion and merge-backed global queries.
+* :mod:`repro.distributed.mapreduce` — the simulated scatter/gather
+  pipeline (§5.5's deployment story): sketch each partition, then merge.
+"""
 
 from repro.distributed.mapreduce import (
     DistributedSubsetSum,
@@ -8,16 +20,22 @@ from repro.distributed.mapreduce import (
 )
 from repro.distributed.partition import (
     hash_partition,
+    hash_partition_batch,
     key_range_partition,
     round_robin_partition,
+    stable_shard,
 )
+from repro.distributed.sharded import ShardedSketch
 
 __all__ = [
     "DistributedSubsetSum",
+    "ShardedSketch",
     "reduce_sketches",
     "sketch_partitions",
     "tree_merge",
     "hash_partition",
+    "hash_partition_batch",
     "key_range_partition",
     "round_robin_partition",
+    "stable_shard",
 ]

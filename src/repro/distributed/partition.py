@@ -15,15 +15,17 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro._typing import Item
 from repro.errors import InvalidParameterError
 
 __all__ = [
     "hash_partition",
+    "hash_partition_batch",
     "round_robin_partition",
     "key_range_partition",
+    "stable_shard",
 ]
 
 
@@ -50,6 +52,52 @@ def hash_partition(
     for row in rows:
         partitions[_stable_hash(row, seed) % num_partitions].append(row)
     return partitions
+
+
+def stable_shard(item: Item, num_partitions: int, *, seed: int = 0) -> int:
+    """Stable shard index of an item: the routing function of the sharded executor.
+
+    All rows of a given item map to the same shard for any fixed seed, so a
+    hash-sharded ensemble of sketches holds disjoint item sets.
+    """
+    if num_partitions < 1:
+        raise InvalidParameterError("num_partitions must be positive")
+    return _stable_hash(item, seed) % num_partitions
+
+
+def hash_partition_batch(
+    items: Sequence[Item],
+    weights: Optional[Sequence[float]],
+    num_partitions: int,
+    *,
+    seed: int = 0,
+) -> List[Tuple[List[Item], Optional[List[float]]]]:
+    """Partition an aligned ``(items, weights)`` batch by item hash.
+
+    The weighted analogue of :func:`hash_partition` used by the batched
+    sharded executor: returns one ``(items, weights)`` pair per partition
+    (``weights`` is ``None`` throughout when no weights were supplied),
+    preserving the within-partition arrival order.
+    """
+    if num_partitions < 1:
+        raise InvalidParameterError("num_partitions must be positive")
+    if weights is not None and len(items) != len(weights):
+        raise InvalidParameterError(
+            f"items and weights must align: got {len(items)} items "
+            f"and {len(weights)} weights"
+        )
+    part_items: List[List[Item]] = [[] for _ in range(num_partitions)]
+    part_weights: Optional[List[List[float]]] = (
+        None if weights is None else [[] for _ in range(num_partitions)]
+    )
+    for index, item in enumerate(items):
+        shard = _stable_hash(item, seed) % num_partitions
+        part_items[shard].append(item)
+        if part_weights is not None:
+            part_weights[shard].append(float(weights[index]))
+    if part_weights is None:
+        return [(chunk, None) for chunk in part_items]
+    return list(zip(part_items, part_weights))
 
 
 def round_robin_partition(rows: Iterable[Item], num_partitions: int) -> List[List[Item]]:

@@ -1,0 +1,281 @@
+"""Sharded sketch executor: scale-out ingestion via hash partitioning.
+
+The paper's mergeability result (§5.5, Theorem 2) means a fleet of Unbiased
+Space Saving sketches can each ingest a disjoint slice of the traffic and
+still be combined into a single unbiased sketch.  :class:`ShardedSketch`
+turns that result into a usable scale-out API:
+
+* **Ingestion** routes every row (or batch) to one of ``num_shards``
+  internal sketches by a stable hash of the item label, so all rows of a
+  given item land on the same shard.  Batches are collapsed once globally
+  (:func:`repro.core.batching.collapse_batch`), hashed once per *distinct*
+  item, and handed to each shard's ``update_batch``.
+* **Point queries** need no merge at all: because shards hold disjoint item
+  sets, the owning shard's estimate *is* the ensemble estimate, and subset
+  sums/heavy hitters are answered from the disjoint union of shard states.
+* **Merging** down to a single capacity-``m`` sketch goes through the
+  existing :mod:`repro.core.merge` machinery
+  (:func:`~repro.core.merge.merge_many_unbiased`), preserving unbiasedness.
+
+In-process the shards are plain Python objects, but the API mirrors what a
+multi-process or multi-node deployment needs: independent per-shard state,
+batch routing, and a merge step that only moves sketch-sized summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro._typing import Item, ItemPredicate
+from repro.core.batching import collapse_batch
+from repro.core.merge import merge_many_unbiased
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.core.variance import EstimateWithError
+from repro.distributed.partition import hash_partition_batch, stable_shard
+from repro.errors import InvalidParameterError
+
+__all__ = ["ShardedSketch"]
+
+#: Builds the sketch for one shard given ``(shard_index, shard_seed)``.
+ShardFactory = Callable[[int, Optional[int]], UnbiasedSpaceSaving]
+
+
+class ShardedSketch:
+    """Hash-partitioned ensemble of Unbiased Space Saving shards.
+
+    Parameters
+    ----------
+    capacity:
+        Capacity of each shard's sketch, and the default capacity of the
+        merged sketch returned by :meth:`merged`.
+    num_shards:
+        Number of shards ``N``.  The ensemble retains up to
+        ``N * capacity`` bins before merging.
+    seed:
+        Base seed.  When given, shard ``i`` receives ``seed + i`` (fully
+        reproducible) and the routing hash uses ``seed``; when ``None`` the
+        shards stay entropy-seeded and routing hashes with seed 0.
+    merge_method:
+        Reduction used by :meth:`merged`; see
+        :func:`repro.core.merge.reduce_bins_unbiased`.
+    shard_factory:
+        Optional ``(shard_index, shard_seed) -> sketch`` override for
+        building the per-shard sketches, e.g. to pass ``store="heap"``.
+
+    Example
+    -------
+    >>> sharded = ShardedSketch(capacity=8, num_shards=4, seed=0)
+    >>> _ = sharded.update_batch(["a", "b", "a", "c"] * 25)
+    >>> sharded.rows_processed
+    100
+    >>> sharded.estimate("a")
+    50.0
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_shards: int,
+        *,
+        seed: Optional[int] = None,
+        merge_method: str = "pps",
+        shard_factory: Optional[ShardFactory] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise InvalidParameterError("num_shards must be positive")
+        self._capacity = int(capacity)
+        self._num_shards = int(num_shards)
+        self._seed = seed
+        self._hash_seed = seed if seed is not None else 0
+        self._merge_method = merge_method
+        if shard_factory is None:
+            shard_factory = lambda index, shard_seed: UnbiasedSpaceSaving(  # noqa: E731
+                capacity, seed=shard_seed
+            )
+        # With no seed the shards stay entropy-seeded (like the scalar
+        # sketch); with one, shard i gets seed + i for full reproducibility.
+        self._shards: Tuple[UnbiasedSpaceSaving, ...] = tuple(
+            shard_factory(index, None if seed is None else seed + index)
+            for index in range(num_shards)
+        )
+        self._rows_processed = 0
+        self._total_weight = 0.0
+        self._version = 0
+        self._merged_cache: Optional[Tuple[int, int, UnbiasedSpaceSaving]] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Per-shard (and default merged) bin capacity."""
+        return self._capacity
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the ensemble."""
+        return self._num_shards
+
+    @property
+    def shards(self) -> Tuple[UnbiasedSpaceSaving, ...]:
+        """The per-shard sketches (do not mutate them directly)."""
+        return self._shards
+
+    @property
+    def rows_processed(self) -> int:
+        """Raw rows ingested across all shards.
+
+        Per-shard ``rows_processed`` counts the collapsed updates each shard
+        received; this ensemble-level counter tracks raw rows.
+        """
+        return self._rows_processed
+
+    @property
+    def total_weight(self) -> float:
+        """Total ingested weight across all shards."""
+        return self._total_weight
+
+    def shard_index(self, item: Item) -> int:
+        """The shard an item routes to (stable across processes)."""
+        return stable_shard(item, self._num_shards, seed=self._hash_seed)
+
+    def shard_for(self, item: Item) -> UnbiasedSpaceSaving:
+        """The shard sketch that owns ``item``."""
+        return self._shards[self.shard_index(item)]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Route one raw row to its owning shard."""
+        self.shard_for(item).update(item, weight)
+        self._rows_processed += 1
+        self._total_weight += weight
+        self._version += 1
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "ShardedSketch":
+        """Collapse a batch once, then scatter it across the shards.
+
+        The batch is pre-aggregated globally so the routing hash runs once
+        per *distinct* item; each shard then ingests its slice through its
+        own ``update_batch``.  Query answers are identical to feeding the
+        same collapsed pairs through :meth:`update` row by row.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        partitions = hash_partition_batch(
+            unique, collapsed, self._num_shards, seed=self._hash_seed
+        )
+        for sketch, (shard_items, shard_weights) in zip(self._shards, partitions):
+            if not shard_items:
+                continue
+            # The global collapse already made the pairs unique, so feed them
+            # through the no-recollapse path when the shard offers one.
+            ingest = getattr(sketch, "_ingest_collapsed", None)
+            if ingest is not None:
+                ingest(
+                    shard_items,
+                    shard_weights,
+                    len(shard_items),
+                    float(sum(shard_weights)),
+                )
+            else:
+                sketch.update_batch(shard_items, shard_weights)
+        self._rows_processed += row_count
+        self._total_weight += total
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries over the disjoint union (no merge required)
+    # ------------------------------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Point estimate from the owning shard (unbiased; 0 when absent)."""
+        return self.shard_for(item).estimate(item)
+
+    def estimates(self) -> Dict[Item, float]:
+        """All retained items across shards (disjoint union)."""
+        combined: Dict[Item, float] = {}
+        for sketch in self._shards:
+            combined.update(sketch.estimates())
+        return combined
+
+    def __len__(self) -> int:
+        return sum(len(sketch.estimates()) for sketch in self._shards)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.shard_for(item).estimates()
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Unbiased subset sum over the union of the shards' data."""
+        return float(
+            sum(sketch.subset_sum(predicate) for sketch in self._shards)
+        )
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum with variance: shard estimates are independent, so
+        their equation-5 variance estimates add."""
+        estimate = 0.0
+        variance = 0.0
+        for sketch in self._shards:
+            shard_result = sketch.subset_sum_with_error(predicate)
+            estimate += shard_result.estimate
+            variance += shard_result.variance
+        return EstimateWithError(estimate=estimate, variance=variance)
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """The ``k`` largest estimated counts across the ensemble."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Items at or above relative frequency ``phi`` of the *global* weight."""
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: count
+            for item, count in self.estimates().items()
+            if count >= threshold and count > 0
+        }
+
+    def total_estimate(self) -> float:
+        """Exact total ingested weight (each shard preserves its total)."""
+        return float(sum(sketch.total_estimate() for sketch in self._shards))
+
+    # ------------------------------------------------------------------
+    # Merging through the core machinery
+    # ------------------------------------------------------------------
+    def merged(
+        self,
+        capacity: Optional[int] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> UnbiasedSpaceSaving:
+        """Merge all shards into one unbiased sketch via ``merge_many_unbiased``.
+
+        The result is cached per ``(state, capacity)`` so repeated queries
+        between updates reuse the same merge; pass ``seed`` to override the
+        reduction seed (which also bypasses the cache).
+        """
+        target = capacity or self._capacity
+        if seed is None and self._merged_cache is not None:
+            version, cached_capacity, cached = self._merged_cache
+            if version == self._version and cached_capacity == target:
+                return cached
+        merged = merge_many_unbiased(
+            self._shards,
+            capacity=target,
+            method=self._merge_method,
+            seed=self._seed if seed is None else seed,
+        )
+        if seed is None:
+            self._merged_cache = (self._version, target, merged)
+        return merged

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro._typing import Item
+from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError
 
 __all__ = ["CountSketch"]
@@ -104,6 +105,23 @@ class CountSketch:
         self._total_weight += weight
         for row in range(self._depth):
             self._table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+
+    def update_batch(self, items, weights=None) -> "CountSketch":
+        """Batched ingestion: one signed table update per distinct item.
+
+        The signed table update is purely additive, so collapsing the
+        batch's duplicate items (summing their signed weights) yields a
+        state exactly equal to the raw row loop while hashing each distinct
+        item only once.  ``rows_processed`` counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        self._rows_processed += row_count
+        self._total_weight += total
+        table = self._table
+        for item, weight in zip(unique, collapsed):
+            for row in range(self._depth):
+                table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+        return self
 
     def update_stream(self, rows) -> "CountSketch":
         """Consume an iterable of items (or ``(item, weight)`` pairs)."""

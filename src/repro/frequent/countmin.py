@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro._typing import Item
+from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
 __all__ = ["CountMinSketch"]
@@ -156,6 +157,66 @@ class CountMinSketch:
                 self._table[row, position] += weight
         if self._heavy_k:
             self._track(item)
+
+    def update_batch(self, items, weights=None) -> "CountMinSketch":
+        """Batched ingestion with a vectorized table update.
+
+        The batch is collapsed to one ``(item, summed weight)`` pair per
+        distinct item (hashing cost drops from one blake2b per raw row to one
+        per distinct item) and then:
+
+        * plain CountMin applies every collapsed increment in a single
+          :func:`numpy.ufunc.at` scatter-add — exactly equivalent to the raw
+          row loop because the table update is additive;
+        * conservative update and heavy-hitter tracking (both
+          order-dependent) apply the collapsed pairs sequentially in
+          first-occurrence order, equivalent to a scalar loop over the
+          collapsed pairs.
+
+        ``rows_processed`` counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        if min(collapsed) < 0:
+            raise UnsupportedUpdateError(
+                "CountMin does not support deletions; use CountSketch instead"
+            )
+        self._rows_processed += row_count
+        self._total_weight += total
+        depth = self._depth
+        if self._conservative or self._heavy_k:
+            # Both features are order-dependent (conservative update reads
+            # the table it writes; heavy tracking must observe the table as
+            # it stood when each item's update landed), so apply the
+            # collapsed pairs sequentially to keep the scalar-loop contract.
+            for item, weight in zip(unique, collapsed):
+                positions = self._positions(item)
+                if self._conservative:
+                    current = min(
+                        self._table[row, position]
+                        for row, position in enumerate(positions)
+                    )
+                    target = current + weight
+                    for row, position in enumerate(positions):
+                        if self._table[row, position] < target:
+                            self._table[row, position] = target
+                else:
+                    for row, position in enumerate(positions):
+                        self._table[row, position] += weight
+                if self._heavy_k:
+                    self._track(item)
+        else:
+            columns = np.empty((len(unique), depth), dtype=np.intp)
+            for index, item in enumerate(unique):
+                columns[index] = self._positions(item)
+            row_indices = np.tile(np.arange(depth), len(unique))
+            np.add.at(
+                self._table,
+                (row_indices, columns.ravel()),
+                np.repeat(np.asarray(collapsed, dtype=np.float64), depth),
+            )
+        return self
 
     def update_stream(self, rows) -> "CountMinSketch":
         """Consume an iterable of items (or ``(item, weight)`` pairs)."""

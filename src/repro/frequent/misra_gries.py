@@ -18,10 +18,11 @@ isomorphism directly against the optimized Space Saving implementation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro._typing import Item
 from repro.core.base import FrequentItemSketch
+from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
 __all__ = ["MisraGriesSketch"]
@@ -91,6 +92,48 @@ class MisraGriesSketch(FrequentItemSketch):
                 counters[label] -= step
                 if counters[label] == 0:
                     del counters[label]
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "MisraGriesSketch":
+        """Batched ingestion: collapse duplicates, then apply weighted updates.
+
+        Equivalent to a scalar :meth:`update` loop over the batch's collapsed
+        ``(item, summed weight)`` pairs in first-occurrence order; the
+        integrality requirement applies to the aggregated per-item weights.
+        ``rows_processed`` counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        if any(weight <= 0 or weight != int(weight) for weight in collapsed):
+            raise UnsupportedUpdateError(
+                "Misra-Gries processes positive integer weights only"
+            )
+        counters = self._counters
+        capacity = self._capacity
+        for item, weight in zip(unique, collapsed):
+            remaining = int(weight)
+            while remaining > 0:
+                if item in counters:
+                    counters[item] += remaining
+                    break
+                if len(counters) < capacity:
+                    counters[item] = remaining
+                    break
+                min_count = min(counters.values())
+                step = min(min_count, remaining)
+                self._decrements += step
+                remaining -= step
+                for label in list(counters):
+                    counters[label] -= step
+                    if counters[label] == 0:
+                        del counters[label]
+        self._rows_processed += row_count
+        self._total_weight += total
+        return self
 
     # ------------------------------------------------------------------
     # Queries

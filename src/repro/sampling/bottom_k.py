@@ -24,6 +24,7 @@ import struct
 from typing import Dict, Optional, Tuple
 
 from repro._typing import Item, ItemPredicate
+from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError
 from repro.errors import InvalidParameterError
 from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
@@ -138,6 +139,47 @@ class BottomKSketch:
             self._threshold_rank = min(self._threshold_rank, worst_rank)
         else:
             self._threshold_rank = min(self._threshold_rank, rank)
+
+    def update_batch(self, items, weights=None) -> "BottomKSketch":
+        """Batched ingestion: one rank computation per distinct item.
+
+        Because an item's rank depends only on its label, the retained set is
+        always the ``k`` smallest-ranked distinct items regardless of arrival
+        order, and retained items accumulate their full weight either way —
+        so collapsing the batch gives estimates exactly equal to the raw row
+        loop while hashing each distinct item once.  ``rows_processed``
+        counts raw rows.
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        if min(collapsed) < 0:
+            raise InvalidParameterError("weights must be non-negative")
+        self._rows_processed += row_count
+        self._total_weight += total
+        bins = self._bins
+        for item, weight in zip(unique, collapsed):
+            existing = bins.get(item)
+            if existing is not None:
+                rank, count = existing
+                bins[item] = (rank, count + weight)
+                continue
+            rank = stable_rank(item, self._seed)
+            if rank >= self._threshold_rank:
+                continue
+            self._distinct_seen += 1
+            if len(bins) < self._capacity:
+                bins[item] = (rank, weight)
+                continue
+            worst_item = max(bins, key=lambda key: bins[key][0])
+            worst_rank = bins[worst_item][0]
+            if rank < worst_rank:
+                del bins[worst_item]
+                bins[item] = (rank, weight)
+                self._threshold_rank = min(self._threshold_rank, worst_rank)
+            else:
+                self._threshold_rank = min(self._threshold_rank, rank)
+        return self
 
     def update_stream(self, rows) -> "BottomKSketch":
         """Consume an iterable of items (or ``(item, weight)`` pairs)."""

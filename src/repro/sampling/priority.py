@@ -22,6 +22,7 @@ import random
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro._typing import Item, ItemPredicate
+from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError
 from repro.errors import EmptySketchError, InvalidParameterError
 from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
@@ -88,6 +89,25 @@ class PrioritySample:
         else:
             threshold = 0.0
         return threshold, {item: value for _, item, value in kept}
+
+    @classmethod
+    def from_rows(
+        cls,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+        *,
+        sample_size: int,
+        rng: Optional[random.Random] = None,
+    ) -> "PrioritySample":
+        """Draw a priority sample directly from disaggregated rows.
+
+        The rows are first pre-aggregated with
+        :func:`repro.core.batching.collapse_batch` (priority sampling is
+        defined on per-item values), then sampled as usual.  This is the
+        batch-ingestion entry point for the priority layer.
+        """
+        unique, collapsed, _, __ = collapse_batch(items, weights)
+        return cls(dict(zip(unique, collapsed)), sample_size, rng=rng)
 
     # -- properties -------------------------------------------------------
     @property
@@ -203,6 +223,26 @@ class StreamingPrioritySampler:
         """Offer every ``(item, value)`` pair from an iterable."""
         for item, value in pairs:
             self.offer(item, value)
+        return self
+
+    def offer_batch(
+        self, items: Iterable[Item], values: Iterable[float]
+    ) -> "StreamingPrioritySampler":
+        """Offer aligned ``items``/``values`` sequences in one call.
+
+        Inputs are *pre-aggregated* per-item values, so no duplicate
+        collapsing is applied; the result (including the uniform draws) is
+        identical to sequential :meth:`offer` calls in the same order.
+        """
+        items_list = items if isinstance(items, (list, tuple)) else list(items)
+        values_list = values if isinstance(values, (list, tuple)) else list(values)
+        if len(items_list) != len(values_list):
+            raise InvalidParameterError(
+                f"items and values must align: got {len(items_list)} items "
+                f"and {len(values_list)} values"
+            )
+        for item, value in zip(items_list, values_list):
+            self.offer(item, float(value))
         return self
 
     def result(self) -> WeightedSample:

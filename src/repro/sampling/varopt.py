@@ -18,14 +18,15 @@ small item is assigned the adjusted weight ``τ``.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro._typing import Item
+from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError
 from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
 from repro.sampling.pps import inclusion_probabilities, pps_threshold
 
-__all__ = ["varopt_sample", "varopt_reduce"]
+__all__ = ["varopt_sample", "varopt_sample_batch", "varopt_reduce"]
 
 
 def varopt_sample(
@@ -74,6 +75,24 @@ def varopt_sample(
             next_tick += 1.0
     del tau  # τ is implicit in the probabilities; kept for readability above.
     return sample
+
+
+def varopt_sample_batch(
+    items: Iterable[Item],
+    weights: Optional[Iterable[float]] = None,
+    *,
+    sample_size: int,
+    rng: Optional[random.Random] = None,
+) -> WeightedSample:
+    """Draw a VarOpt sample directly from disaggregated rows.
+
+    The rows are pre-aggregated with
+    :func:`repro.core.batching.collapse_batch` (each distinct item's weights
+    summed) and then passed to :func:`varopt_sample` — the batch-ingestion
+    entry point for the VarOpt layer.
+    """
+    unique, collapsed, _, __ = collapse_batch(items, weights)
+    return varopt_sample(dict(zip(unique, collapsed)), sample_size, rng=rng)
 
 
 def varopt_reduce(

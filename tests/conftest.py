@@ -7,8 +7,13 @@ import random
 import numpy as np
 import pytest
 
-from repro.streams.frequency import geometric_counts, scaled_weibull_counts
+from repro.streams.frequency import geometric_counts, scaled_weibull_counts, zipf_counts
 from repro.streams.generators import exchangeable_stream, iterate_rows
+
+#: Single shared seed for batch-vs-scalar equivalence tests: both the batch
+#: workload and every sketch under test derive from it, so runs are
+#: deterministic across machines and pytest orderings.
+BATCH_SEED = 20180618
 
 
 @pytest.fixture
@@ -39,3 +44,22 @@ def small_geometric_model():
 def small_stream(small_skewed_model, np_rng):
     """A shuffled (exchangeable) stream of the small skewed model."""
     return list(iterate_rows(exchangeable_stream(small_skewed_model, rng=np_rng)))
+
+
+@pytest.fixture
+def batch_seed() -> int:
+    """The shared deterministic seed for batch-ingestion equivalence tests."""
+    return BATCH_SEED
+
+
+@pytest.fixture
+def batch_workload(batch_seed):
+    """A deterministic skewed row batch for batch-vs-scalar equivalence tests.
+
+    Returned as a plain Python list; tests that exercise the numpy fast path
+    wrap it in ``np.asarray`` themselves so both collapse paths are covered
+    on identical data.
+    """
+    model = zipf_counts(num_items=400, exponent=1.1, total=8_000)
+    stream = exchangeable_stream(model, rng=np.random.default_rng(batch_seed))
+    return list(iterate_rows(stream))
