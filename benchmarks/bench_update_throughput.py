@@ -1,4 +1,4 @@
-"""Update throughput benchmarks: scalar vs batched vs sharded ingestion.
+"""Update throughput benchmarks: scalar vs batched vs sharded vs parallel.
 
 Two layers live in this file:
 
@@ -6,13 +6,14 @@ Two layers live in this file:
 
       PYTHONPATH=src python benchmarks/bench_update_throughput.py
 
-  to stream a 1M-row Zipf workload through Unbiased Space Saving three
+  to stream a 1M-row Zipf workload through Unbiased Space Saving four
   ways — the scalar ``update`` loop, the vectorized ``update_batch`` fast
-  path, and the hash-partitioned ``ShardedSketch`` executor — and emit a
-  JSON perf record (printed, and written to
-  ``benchmarks/results/update_throughput.json``).  The record includes an
-  equivalence section verifying that all three modes preserve the exact
-  stream total and agree on the heavy hitters.
+  path, the hash-partitioned in-process ``ShardedSketch`` executor, and
+  the multiprocess ``ParallelSketchExecutor`` (serialized shard states
+  fanned out to a worker pool) — and emit a JSON perf record (printed,
+  and written to ``benchmarks/results/update_throughput.json``).  The
+  record includes an equivalence section verifying that all modes
+  preserve the exact stream total and agree on the heavy hitters.
 
 * **pytest-benchmark micro-benchmarks** (§6.7: O(1) updates, O(m) space) —
   ``pytest benchmarks/bench_update_throughput.py`` times repeated rounds of
@@ -34,6 +35,7 @@ import pytest
 
 from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.parallel import ParallelSketchExecutor
 from repro.distributed.sharded import ShardedSketch
 from repro.frequent.countmin import CountMinSketch
 from repro.frequent.misra_gries import MisraGriesSketch
@@ -78,9 +80,10 @@ def run_ingestion_comparison(
     capacity: int = 256,
     batch_rows: int = 100_000,
     num_shards: int = 8,
+    num_workers: Optional[int] = None,
     seed: int = 0,
 ) -> Dict[str, object]:
-    """Time the three ingestion modes on one workload and build a JSON record."""
+    """Time the four ingestion modes on one workload and build a JSON record."""
     stream = make_zipf_rows(rows, num_items=num_items, exponent=exponent, seed=seed)
     # Count rounding in the Zipf model can nudge the realized row count.
     rows = int(len(stream))
@@ -108,15 +111,31 @@ def run_ingestion_comparison(
             sketch.update_batch(chunk)
         return sketch
 
+    def parallel() -> ParallelSketchExecutor:
+        executor = ParallelSketchExecutor(
+            capacity, num_shards, seed=seed, num_workers=num_workers
+        )
+        for chunk in chunks:
+            executor.update_batch(chunk)
+        return executor
+
     sketches: Dict[str, object] = {}
     modes: Dict[str, Dict[str, float]] = {}
-    for name, ingest in [("scalar", scalar), ("batched", batched), ("sharded", sharded)]:
+    for name, ingest in [
+        ("scalar", scalar),
+        ("batched", batched),
+        ("sharded", sharded),
+        ("parallel", parallel),
+    ]:
         sketch, elapsed = _timed(ingest)
         sketches[name] = sketch
         modes[name] = {
             "seconds": round(elapsed, 4),
             "rows_per_sec": round(rows / elapsed, 1),
         }
+    executor = sketches["parallel"]
+    modes["parallel"]["num_workers"] = executor.num_workers
+    executor.close()
 
     top_true = {item for item, _ in zipf_top_k(num_items, exponent, rows, 10)}
     equivalence = {
@@ -149,6 +168,7 @@ def run_ingestion_comparison(
             "capacity": capacity,
             "batch_rows": batch_rows,
             "num_shards": num_shards,
+            "num_workers": modes["parallel"]["num_workers"],
         },
         "modes": modes,
         "speedup": {
@@ -157,6 +177,9 @@ def run_ingestion_comparison(
             ),
             "sharded_vs_scalar": round(
                 modes["scalar"]["seconds"] / modes["sharded"]["seconds"], 2
+            ),
+            "parallel_vs_scalar": round(
+                modes["scalar"]["seconds"] / modes["parallel"]["seconds"], 2
             ),
         },
         "equivalence": equivalence,
@@ -185,6 +208,13 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     parser.add_argument("--capacity", type=int, default=256)
     parser.add_argument("--batch-rows", type=int, default=100_000)
     parser.add_argument("--num-shards", type=int, default=8)
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="pool size for the parallel mode (default: min(shards, cpus); "
+        "below 2 runs the wire path inline)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--output",
@@ -200,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         capacity=args.capacity,
         batch_rows=args.batch_rows,
         num_shards=args.num_shards,
+        num_workers=args.num_workers,
         seed=args.seed,
     )
     args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -212,7 +243,8 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         )
     print(
         f"speedup: batched {record['speedup']['batched_vs_scalar']}x, "
-        f"sharded {record['speedup']['sharded_vs_scalar']}x vs scalar "
+        f"sharded {record['speedup']['sharded_vs_scalar']}x, "
+        f"parallel {record['speedup']['parallel_vs_scalar']}x vs scalar "
         f"(record written to {args.output})"
     )
     return record
@@ -262,6 +294,17 @@ def test_throughput_sharded_batched(benchmark, workload_array):
     sketch = benchmark(
         _ingest_batched,
         lambda: ShardedSketch(CAPACITY, num_shards=8, seed=0),
+        workload_array,
+    )
+    assert sketch.rows_processed == len(workload_array)
+
+
+def test_throughput_parallel_executor_wire_path(benchmark, workload_array):
+    # Inline workers time the full serialize → ingest → reserialize wire
+    # path without per-round pool startup noise.
+    sketch = benchmark(
+        _ingest_batched,
+        lambda: ParallelSketchExecutor(CAPACITY, 8, seed=0, num_workers=0),
         workload_array,
     )
     assert sketch.rows_processed == len(workload_array)

@@ -44,7 +44,8 @@ from repro.core import (
     merge_many_unbiased,
     merge_unbiased,
 )
-from repro.distributed import ShardedSketch
+from repro.distributed import ParallelSketchExecutor, ShardedSketch
+from repro.io import load_bytes, load_checkpoint, load_dict, save_checkpoint
 from repro.query import SketchQueryEngine, SubsetSumEstimator
 from repro.version import __version__
 
@@ -54,12 +55,17 @@ __all__ = [
     "EstimateWithError",
     "ForwardDecaySketch",
     "GeneralizedSpaceSaving",
+    "ParallelSketchExecutor",
     "ShardedSketch",
     "SignedUnbiasedSpaceSaving",
     "UnbiasedSpaceSaving",
     "collapse_batch",
+    "load_bytes",
+    "load_checkpoint",
+    "load_dict",
     "merge_many_unbiased",
     "merge_unbiased",
+    "save_checkpoint",
     "SketchQueryEngine",
     "SubsetSumEstimator",
     "__version__",

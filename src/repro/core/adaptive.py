@@ -10,7 +10,6 @@ resizes.  This module implements that extension on top of the
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional
 
 from repro._typing import Item, ItemPredicate

@@ -35,9 +35,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro._typing import Item
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
-__all__ = ["CollapsedBatch", "collapse_batch"]
+__all__ = ["CollapsedBatch", "collapse_batch", "unit_rows"]
 
 #: ``(unique_items, collapsed_weights, row_count, total_weight)`` — the
 #: result of :func:`collapse_batch`.  ``unique_items`` preserves first
@@ -140,3 +140,38 @@ def collapse_batch(items: Iterable[Item], weights: WeightsLike = None) -> Collap
     if weights is not None and not isinstance(weights, (list, tuple)):
         weights = list(weights)
     return _collapse_generic(items, weights)
+
+
+def unit_rows(
+    items: Iterable[Item], weights: WeightsLike, *, sketch_name: str
+) -> List[Item]:
+    """Materialize a unit-weight batch, validating the weights if given.
+
+    The batch-normalization twin of :func:`collapse_batch` for sketches
+    defined on unit rows only (Lossy Counting, Sticky Sampling): no
+    collapsing happens — the rows are replayed one by one — so ``weights``
+    must be ``None`` or an aligned all-ones sequence.  Numpy arrays are
+    lowered to Python scalars to keep hashing consistent with the scalar
+    update path.
+    """
+    if isinstance(items, np.ndarray):
+        if items.ndim != 1:
+            raise InvalidParameterError(
+                f"item arrays must be 1-dimensional, got shape {items.shape}"
+            )
+        rows = items.tolist()
+    else:
+        rows = list(items)
+    if weights is not None:
+        weights = list(weights)
+        if len(weights) != len(rows):
+            raise InvalidParameterError(
+                f"items and weights must align: got {len(rows)} items "
+                f"and {len(weights)} weights"
+            )
+        for weight in weights:
+            if weight != 1:
+                raise UnsupportedUpdateError(
+                    f"{sketch_name} supports unit-weight rows only"
+                )
+    return rows

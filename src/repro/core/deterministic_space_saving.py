@@ -15,8 +15,9 @@ figures 7 and 10).
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro._typing import Item
 from repro.core.base import (
@@ -27,11 +28,18 @@ from repro.core.base import (
 )
 from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import (
+    decode_item,
+    encode_item,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["DeterministicSpaceSaving"]
 
 
-class DeterministicSpaceSaving(FrequentItemSketch):
+class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
     """The original Space Saving sketch (``p = 1`` label replacement).
 
     Parameters
@@ -224,3 +232,42 @@ class DeterministicSpaceSaving(FrequentItemSketch):
             (item, count, self._acquisition_error.get(item, 0.0))
             for item, count in self._store.items()
         ]
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels: List[object] = []
+        counts: List[float] = []
+        errors: List[float] = []
+        for label, count in self._store.items():
+            labels.append(encode_item(label))
+            counts.append(float(count))
+            errors.append(float(self._acquisition_error.get(label, 0.0)))
+        meta = {
+            "capacity": self._capacity,
+            "store": self._store_kind,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "labels": labels,
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        arrays = {
+            "counts": np.asarray(counts, dtype=np.float64),
+            "acquisition_errors": np.asarray(errors, dtype=np.float64),
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(int(meta["capacity"]), store=meta["store"])
+        for label, count, error in zip(
+            meta["labels"], arrays["counts"], arrays["acquisition_errors"]
+        ):
+            item = decode_item(label)
+            sketch._store.insert(item, float(count))
+            sketch._acquisition_error[item] = float(error)
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sketch

@@ -26,7 +26,7 @@ from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.errors import IncompatibleSketchError, InvalidParameterError
 from repro.sampling.horvitz_thompson import WeightedSample
-from repro.sampling.pps import inclusion_probabilities, poisson_pps_sample
+from repro.sampling.pps import poisson_pps_sample
 from repro.sampling.priority import PrioritySample
 from repro.sampling.varopt import varopt_reduce
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro._typing import Item, ItemPredicate
 from repro.core.base import (
     BinStore,
@@ -35,11 +37,18 @@ from repro.core.base import (
 from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError, subset_variance_estimate
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import (
+    decode_item,
+    encode_item,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["UnbiasedSpaceSaving"]
 
 
-class UnbiasedSpaceSaving(SubsetSumSketch):
+class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
     """Unbiased Space Saving sketch (Algorithm 1 with ``p = 1/(N̂_min + 1)``).
 
     Parameters
@@ -297,6 +306,45 @@ class UnbiasedSpaceSaving(SubsetSumSketch):
         This is one advantage over priority sampling noted in §7.
         """
         return float(sum(count for _, count in self._store.items()))
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels: List[object] = []
+        counts: List[float] = []
+        for label, count in self._store.items():
+            labels.append(encode_item(label))
+            counts.append(float(count))
+        meta = {
+            "capacity": self._capacity,
+            "store": self._store_kind,
+            "active_store": (
+                "heap" if isinstance(self._store, HeapBinStore) else "stream_summary"
+            ),
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "label_replacements": self._label_replacements,
+            "labels": labels,
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        return meta, {"counts": np.asarray(counts, dtype=np.float64)}
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(int(meta["capacity"]), store=meta["store"])
+        if meta["active_store"] == "heap" and not isinstance(sketch._store, HeapBinStore):
+            sketch._store = HeapBinStore(rng=sketch._rng)
+        # Bins are re-inserted in the serialized (structural) order, which
+        # reproduces the exact bucket/tie ordering of the source sketch, so
+        # a restored seeded sketch continues the stream bit-identically.
+        for label, count in zip(meta["labels"], arrays["counts"]):
+            sketch._store.insert(decode_item(label), float(count))
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._label_replacements = int(meta["label_replacements"])
+        sketch._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sketch
 
     # ------------------------------------------------------------------
     # Introspection used by the merge / evaluation layers

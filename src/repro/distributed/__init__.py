@@ -8,6 +8,9 @@ Three layers of the scale-out story live here:
 * :mod:`repro.distributed.sharded` — :class:`ShardedSketch`, a live
   hash-partitioned ensemble of Unbiased Space Saving sketches with batched
   ingestion and merge-backed global queries.
+* :mod:`repro.distributed.parallel` — :class:`ParallelSketchExecutor`,
+  the same ensemble driven across process boundaries: shards live as
+  serialized byte frames and batches fan out to a multiprocessing pool.
 * :mod:`repro.distributed.mapreduce` — the simulated scatter/gather
   pipeline (§5.5's deployment story): sketch each partition, then merge.
 """
@@ -18,6 +21,7 @@ from repro.distributed.mapreduce import (
     sketch_partitions,
     tree_merge,
 )
+from repro.distributed.parallel import ParallelSketchExecutor
 from repro.distributed.partition import (
     hash_partition,
     hash_partition_batch,
@@ -29,6 +33,7 @@ from repro.distributed.sharded import ShardedSketch
 
 __all__ = [
     "DistributedSubsetSum",
+    "ParallelSketchExecutor",
     "ShardedSketch",
     "reduce_sketches",
     "sketch_partitions",

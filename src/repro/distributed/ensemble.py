@@ -1,0 +1,121 @@
+"""Shared query surface for hash-partitioned sketch ensembles.
+
+``ShardedSketch`` (in-process shards) and ``ParallelSketchExecutor``
+(shards as serialized frames on a worker pool) answer queries the same
+way: point lookups go to the owning shard, global queries aggregate over
+the disjoint union of shard states, and a single merged sketch comes from
+:func:`repro.core.merge.merge_many_unbiased`.  :class:`DisjointUnionQueries`
+holds that logic once, parameterized by two hooks:
+
+* :meth:`_query_shards` — the live shard sketches to aggregate over;
+* :meth:`_owning_shard` — the shard holding a given item.
+
+Hosts must also provide ``_capacity``, ``_total_weight``, ``_seed``,
+``_merge_method``, ``_version`` (bumped on every update) and
+``_merged_cache`` — the attributes both executors already maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro._typing import Item, ItemPredicate
+from repro.core.merge import merge_many_unbiased
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.core.variance import EstimateWithError
+from repro.errors import InvalidParameterError
+
+__all__ = ["DisjointUnionQueries"]
+
+
+class DisjointUnionQueries:
+    """Disjoint-union queries and merge caching over an ensemble of shards."""
+
+    # -- hooks the host implements ----------------------------------------
+    def _query_shards(self) -> Sequence[UnbiasedSpaceSaving]:
+        """The live per-shard sketches global queries aggregate over."""
+        raise NotImplementedError
+
+    def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
+        """The shard sketch that owns ``item`` (for point lookups)."""
+        raise NotImplementedError
+
+    # -- point and union queries ------------------------------------------
+    def estimate(self, item: Item) -> float:
+        """Point estimate from the owning shard (unbiased; 0 when absent)."""
+        return self._owning_shard(item).estimate(item)
+
+    def estimates(self) -> Dict[Item, float]:
+        """All retained items across shards (disjoint union)."""
+        combined: Dict[Item, float] = {}
+        for shard in self._query_shards():
+            combined.update(shard.estimates())
+        return combined
+
+    def __len__(self) -> int:
+        return sum(len(shard.estimates()) for shard in self._query_shards())
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._owning_shard(item).estimates()
+
+    def subset_sum(self, predicate: ItemPredicate) -> float:
+        """Unbiased subset sum over the union of the shards' data."""
+        return float(
+            sum(shard.subset_sum(predicate) for shard in self._query_shards())
+        )
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum with variance: shard estimates are independent, so
+        their equation-5 variance estimates add."""
+        estimate = 0.0
+        variance = 0.0
+        for shard in self._query_shards():
+            shard_result = shard.subset_sum_with_error(predicate)
+            estimate += shard_result.estimate
+            variance += shard_result.variance
+        return EstimateWithError(estimate=estimate, variance=variance)
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """The ``k`` largest estimated counts across the ensemble."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Items at or above relative frequency ``phi`` of the *global* weight."""
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: count
+            for item, count in self.estimates().items()
+            if count >= threshold and count > 0
+        }
+
+    def total_estimate(self) -> float:
+        """Exact total ingested weight (each shard preserves its total)."""
+        return float(sum(shard.total_estimate() for shard in self._query_shards()))
+
+    # -- merging through the core machinery --------------------------------
+    def merged(self, capacity=None, *, seed=None) -> UnbiasedSpaceSaving:
+        """Merge all shards into one unbiased sketch via ``merge_many_unbiased``.
+
+        The result is cached per ``(state, capacity)`` so repeated queries
+        between updates reuse the same merge; pass ``seed`` to override the
+        reduction seed (which also bypasses the cache).
+        """
+        target = capacity or self._capacity
+        if seed is None and self._merged_cache is not None:
+            version, cached_capacity, cached = self._merged_cache
+            if version == self._version and cached_capacity == target:
+                return cached
+        merged = merge_many_unbiased(
+            self._query_shards(),
+            capacity=target,
+            method=self._merge_method,
+            seed=self._seed if seed is None else seed,
+        )
+        if seed is None:
+            self._merged_cache = (self._version, target, merged)
+        return merged

@@ -1,0 +1,349 @@
+"""Multiprocess parallel sketch executor.
+
+:class:`~repro.distributed.sharded.ShardedSketch` proved the scale-out
+shape in-process; this module carries the same shape across *process
+boundaries*, which is what the paper's mergeability theorem (§5.5) is
+ultimately for.  :class:`ParallelSketchExecutor` keeps every shard as a
+**serialized byte frame** (the :mod:`repro.io` envelope) and, for each
+batch, fans the hash-partitioned slices out to a :mod:`multiprocessing`
+pool: a worker deserializes its shard, ingests its slice, reserializes,
+and ships the new state back.  Nothing but sketch-sized summaries and the
+batch slices ever cross the process boundary — the map-side-combine
+pattern of a distributed deployment, exercised for real.
+
+Determinism is preserved end to end: shards are seeded exactly like
+``ShardedSketch`` (shard ``i`` gets ``seed + i``), batches are collapsed
+and routed identically, and the RNG state rides inside each shard frame —
+so on the same seeded workload the executor's estimates are **equal** to
+``ShardedSketch``'s, shard for shard, regardless of how many processes
+the work was spread over.  Queries deserialize the current shard frames
+once (cached until the next update) and answer through the same
+disjoint-union logic; :meth:`merged` goes through
+:func:`repro.core.merge.merge_many_unbiased`.
+
+With ``num_workers=0`` (or on a single-CPU host, the default) the
+executor runs the identical serialize → ingest → reserialize cycle
+inline, which keeps tests and CI deterministic and pool-free while still
+exercising the full wire path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro._typing import Item
+from repro.core.batching import collapse_batch
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.ensemble import DisjointUnionQueries
+from repro.distributed.partition import hash_partition_batch, stable_shard
+from repro.errors import InvalidParameterError
+from repro.io.serializable import SerializableSketch
+
+__all__ = ["ParallelSketchExecutor"]
+
+
+def _apply_serialized_batch(
+    state: bytes,
+    items: List[Item],
+    weights: List[float],
+    row_count: int,
+    total: float,
+) -> bytes:
+    """Worker body: deserialize one shard, ingest a collapsed slice, reserialize.
+
+    Module-level (not a closure) so every start method, including spawn,
+    can pickle it.  The slice arrives already collapsed and routed, so the
+    no-recollapse ingestion path applies it directly.
+    """
+    sketch = UnbiasedSpaceSaving.from_bytes(state)
+    sketch._ingest_collapsed(items, weights, row_count, total)
+    return sketch.to_bytes()
+
+
+class ParallelSketchExecutor(DisjointUnionQueries, SerializableSketch):
+    """Hash-partitioned Unbiased Space Saving shards on a process pool.
+
+    Drop-in for :class:`~repro.distributed.sharded.ShardedSketch`: the
+    ingestion and query surface is the same, so callers can swap executors
+    without touching query code.
+
+    Parameters
+    ----------
+    capacity:
+        Capacity of each shard's sketch (and the default merged capacity).
+    num_shards:
+        Number of shards; shard ``i`` is seeded ``seed + i`` when ``seed``
+        is given, exactly like ``ShardedSketch``.
+    seed:
+        Base seed for shards, routing hash and merge reduction.
+    merge_method:
+        Reduction used by :meth:`merged`; see
+        :func:`repro.core.merge.reduce_bins_unbiased`.
+    num_workers:
+        Pool size.  ``None`` (default) uses ``min(num_shards, cpu_count)``;
+        any value below 2 runs the wire path inline without spawning
+        processes (identical results, no pool overhead).
+    mp_context:
+        Optional :func:`multiprocessing.get_context` method name
+        (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+        platform default.
+
+    Example
+    -------
+    >>> with ParallelSketchExecutor(capacity=8, num_shards=4, seed=0) as executor:
+    ...     _ = executor.update_batch(["a", "b", "a", "c"] * 25)
+    ...     executor.estimate("a")
+    50.0
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_shards: int,
+        *,
+        seed: Optional[int] = None,
+        merge_method: str = "pps",
+        num_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise InvalidParameterError("num_shards must be positive")
+        self._capacity = int(capacity)
+        self._num_shards = int(num_shards)
+        self._seed = seed
+        self._hash_seed = seed if seed is not None else 0
+        self._merge_method = merge_method
+        if num_workers is None:
+            num_workers = min(num_shards, os.cpu_count() or 1)
+        self._num_workers = int(num_workers)
+        self._mp_context = mp_context
+        self._pool = None
+        self._shard_states: List[bytes] = [
+            UnbiasedSpaceSaving(
+                capacity, seed=None if seed is None else seed + index
+            ).to_bytes()
+            for index in range(num_shards)
+        ]
+        self._rows_processed = 0
+        self._total_weight = 0.0
+        self._version = 0
+        self._shards_cache: Optional[Tuple[int, Tuple[UnbiasedSpaceSaving, ...]]] = None
+        self._single_shard_cache: Dict[int, Tuple[int, UnbiasedSpaceSaving]] = {}
+        self._merged_cache: Optional[Tuple[int, int, UnbiasedSpaceSaving]] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Per-shard (and default merged) bin capacity."""
+        return self._capacity
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the ensemble."""
+        return self._num_shards
+
+    @property
+    def num_workers(self) -> int:
+        """Configured pool size (values below 2 mean inline execution)."""
+        return self._num_workers
+
+    @property
+    def rows_processed(self) -> int:
+        """Raw rows ingested across all shards."""
+        return self._rows_processed
+
+    @property
+    def total_weight(self) -> float:
+        """Total ingested weight across all shards."""
+        return self._total_weight
+
+    def shard_index(self, item: Item) -> int:
+        """The shard an item routes to (stable across processes)."""
+        return stable_shard(item, self._num_shards, seed=self._hash_seed)
+
+    def shard_states(self) -> List[bytes]:
+        """The current serialized shard frames (copies of the references)."""
+        return list(self._shard_states)
+
+    @property
+    def shards(self) -> Tuple[UnbiasedSpaceSaving, ...]:
+        """Deserialized views of the current shard frames.
+
+        A property to mirror ``ShardedSketch.shards``.  The views are
+        cached until the next update; unlike ``ShardedSketch`` they are
+        *copies* of the authoritative byte frames, so mutating them never
+        changes the executor's state.
+        """
+        if self._shards_cache is not None and self._shards_cache[0] == self._version:
+            return self._shards_cache[1]
+        shards = tuple(
+            UnbiasedSpaceSaving.from_bytes(state) for state in self._shard_states
+        )
+        self._shards_cache = (self._version, shards)
+        return shards
+
+    def shard_for(self, item: Item) -> UnbiasedSpaceSaving:
+        """A deserialized view of the shard that owns ``item``."""
+        return self._shard(self.shard_index(item))
+
+    def _shard(self, index: int) -> UnbiasedSpaceSaving:
+        """Deserialize one shard frame (for point queries), with caching.
+
+        Point lookups only need the owning shard, so decoding all
+        ``num_shards`` frames through :meth:`shards` would waste
+        O(num_shards) work per query; this decodes (and caches) just one.
+        """
+        if self._shards_cache is not None and self._shards_cache[0] == self._version:
+            return self._shards_cache[1][index]
+        cached = self._single_shard_cache.get(index)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        shard = UnbiasedSpaceSaving.from_bytes(self._shard_states[index])
+        self._single_shard_cache[index] = (self._version, shard)
+        return shard
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._num_workers < 2:
+            return None
+        if self._pool is None:
+            context = multiprocessing.get_context(self._mp_context)
+            self._pool = context.Pool(processes=self._num_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the executor stays queryable."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelSketchExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Route one raw row through the batch path."""
+        self.update_batch([item], [weight])
+
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "ParallelSketchExecutor":
+        """Collapse a batch once, scatter the slices to the worker pool.
+
+        The batch is pre-aggregated globally (one routing hash per
+        distinct item), partitioned with the same stable hash as
+        ``ShardedSketch``, and each non-empty slice is shipped to a worker
+        together with its shard's current byte frame; the returned frames
+        become the new shard states.  Shards with no rows in the batch are
+        not touched (and cost no serialization work).
+        """
+        unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if not unique:
+            return self
+        partitions = hash_partition_batch(
+            unique, collapsed, self._num_shards, seed=self._hash_seed
+        )
+        jobs = [
+            (index, shard_items, shard_weights)
+            for index, (shard_items, shard_weights) in enumerate(partitions)
+            if shard_items
+        ]
+        arguments = [
+            (
+                self._shard_states[index],
+                shard_items,
+                shard_weights,
+                len(shard_items),
+                float(sum(shard_weights)),
+            )
+            for index, shard_items, shard_weights in jobs
+        ]
+        pool = self._ensure_pool()
+        if pool is None:
+            new_states = [_apply_serialized_batch(*argument) for argument in arguments]
+        else:
+            new_states = pool.starmap(_apply_serialized_batch, arguments)
+        for (index, _, __), state in zip(jobs, new_states):
+            self._shard_states[index] = state
+        self._rows_processed += row_count
+        self._total_weight += total
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries: the disjoint-union surface comes from DisjointUnionQueries
+    # (estimate, estimates, subset sums, heavy hitters, top_k,
+    # total_estimate, merged) via these two hooks.
+    # ------------------------------------------------------------------
+    def _query_shards(self) -> Tuple[UnbiasedSpaceSaving, ...]:
+        return self.shards
+
+    def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
+        return self._shard(self.shard_index(item))
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "capacity": self._capacity,
+            "num_shards": self._num_shards,
+            "seed": self._seed,
+            "hash_seed": self._hash_seed,
+            "merge_method": self._merge_method,
+            "num_workers": self._num_workers,
+            "mp_context": self._mp_context,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+        }
+        # Shards are already byte frames; they ride along as uint8 arrays.
+        arrays = {
+            f"shard_{index}": np.frombuffer(state, dtype=np.uint8)
+            for index, state in enumerate(self._shard_states)
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        executor = cls.__new__(cls)
+        executor._capacity = int(meta["capacity"])
+        executor._num_shards = int(meta["num_shards"])
+        executor._seed = meta["seed"]
+        executor._hash_seed = int(meta["hash_seed"])
+        executor._merge_method = meta["merge_method"]
+        executor._num_workers = int(meta["num_workers"])
+        executor._mp_context = meta["mp_context"]
+        executor._pool = None
+        executor._shard_states = [
+            arrays[f"shard_{index}"].tobytes()
+            for index in range(executor._num_shards)
+        ]
+        executor._rows_processed = int(meta["rows_processed"])
+        executor._total_weight = float(meta["total_weight"])
+        executor._version = 0
+        executor._shards_cache = None
+        executor._single_shard_cache = {}
+        executor._merged_cache = None
+        return executor

@@ -24,15 +24,17 @@ batch routing, and a merge step that only moves sketch-sized summaries.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, Optional, Tuple
 
-from repro._typing import Item, ItemPredicate
+import numpy as np
+
+from repro._typing import Item
 from repro.core.batching import collapse_batch
-from repro.core.merge import merge_many_unbiased
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
-from repro.core.variance import EstimateWithError
+from repro.distributed.ensemble import DisjointUnionQueries
 from repro.distributed.partition import hash_partition_batch, stable_shard
 from repro.errors import InvalidParameterError
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["ShardedSketch"]
 
@@ -40,7 +42,7 @@ __all__ = ["ShardedSketch"]
 ShardFactory = Callable[[int, Optional[int]], UnbiasedSpaceSaving]
 
 
-class ShardedSketch:
+class ShardedSketch(DisjointUnionQueries, SerializableSketch):
     """Hash-partitioned ensemble of Unbiased Space Saving shards.
 
     Parameters
@@ -192,90 +194,55 @@ class ShardedSketch:
         return self
 
     # ------------------------------------------------------------------
-    # Queries over the disjoint union (no merge required)
+    # Queries: the disjoint-union surface comes from DisjointUnionQueries
+    # (estimate, estimates, subset sums, heavy hitters, top_k,
+    # total_estimate, merged) via these two hooks.
     # ------------------------------------------------------------------
-    def estimate(self, item: Item) -> float:
-        """Point estimate from the owning shard (unbiased; 0 when absent)."""
-        return self.shard_for(item).estimate(item)
+    def _query_shards(self) -> Tuple[UnbiasedSpaceSaving, ...]:
+        return self._shards
 
-    def estimates(self) -> Dict[Item, float]:
-        """All retained items across shards (disjoint union)."""
-        combined: Dict[Item, float] = {}
-        for sketch in self._shards:
-            combined.update(sketch.estimates())
-        return combined
+    def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
+        return self.shard_for(item)
 
-    def __len__(self) -> int:
-        return sum(len(sketch.estimates()) for sketch in self._shards)
-
-    def __contains__(self, item: Item) -> bool:
-        return item in self.shard_for(item).estimates()
-
-    def subset_sum(self, predicate: ItemPredicate) -> float:
-        """Unbiased subset sum over the union of the shards' data."""
-        return float(
-            sum(sketch.subset_sum(predicate) for sketch in self._shards)
-        )
-
-    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
-        """Subset sum with variance: shard estimates are independent, so
-        their equation-5 variance estimates add."""
-        estimate = 0.0
-        variance = 0.0
-        for sketch in self._shards:
-            shard_result = sketch.subset_sum_with_error(predicate)
-            estimate += shard_result.estimate
-            variance += shard_result.variance
-        return EstimateWithError(estimate=estimate, variance=variance)
-
-    def top_k(self, k: int) -> List[Tuple[Item, float]]:
-        """The ``k`` largest estimated counts across the ensemble."""
-        if k < 0:
-            raise InvalidParameterError("k must be non-negative")
-        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
-        return ranked[:k]
-
-    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
-        """Items at or above relative frequency ``phi`` of the *global* weight."""
-        if not 0 < phi <= 1:
-            raise InvalidParameterError("phi must lie in (0, 1]")
-        threshold = phi * self._total_weight
-        return {
-            item: count
-            for item, count in self.estimates().items()
-            if count >= threshold and count > 0
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "capacity": self._capacity,
+            "num_shards": self._num_shards,
+            "seed": self._seed,
+            "hash_seed": self._hash_seed,
+            "merge_method": self._merge_method,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
         }
+        # Each shard serializes itself; its frame rides along as raw bytes
+        # (a uint8 array), so the ensemble reuses the envelope unchanged.
+        arrays = {
+            f"shard_{index}": np.frombuffer(shard.to_bytes(), dtype=np.uint8)
+            for index, shard in enumerate(self._shards)
+        }
+        return meta, arrays
 
-    def total_estimate(self) -> float:
-        """Exact total ingested weight (each shard preserves its total)."""
-        return float(sum(sketch.total_estimate() for sketch in self._shards))
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        # Shard frames are restored through the registry so a custom
+        # shard_factory producing any registered sketch type round-trips.
+        from repro.io.registry import load_bytes
 
-    # ------------------------------------------------------------------
-    # Merging through the core machinery
-    # ------------------------------------------------------------------
-    def merged(
-        self,
-        capacity: Optional[int] = None,
-        *,
-        seed: Optional[int] = None,
-    ) -> UnbiasedSpaceSaving:
-        """Merge all shards into one unbiased sketch via ``merge_many_unbiased``.
-
-        The result is cached per ``(state, capacity)`` so repeated queries
-        between updates reuse the same merge; pass ``seed`` to override the
-        reduction seed (which also bypasses the cache).
-        """
-        target = capacity or self._capacity
-        if seed is None and self._merged_cache is not None:
-            version, cached_capacity, cached = self._merged_cache
-            if version == self._version and cached_capacity == target:
-                return cached
-        merged = merge_many_unbiased(
-            self._shards,
-            capacity=target,
-            method=self._merge_method,
-            seed=self._seed if seed is None else seed,
+        sketch = cls.__new__(cls)
+        sketch._capacity = int(meta["capacity"])
+        sketch._num_shards = int(meta["num_shards"])
+        sketch._seed = meta["seed"]
+        sketch._hash_seed = int(meta["hash_seed"])
+        sketch._merge_method = meta["merge_method"]
+        sketch._shards = tuple(
+            load_bytes(arrays[f"shard_{index}"].tobytes())
+            for index in range(sketch._num_shards)
         )
-        if seed is None:
-            self._merged_cache = (self._version, target, merged)
-        return merged
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._version = 0
+        sketch._merged_cache = None
+        return sketch

@@ -33,3 +33,13 @@ class EmptySketchError(SketchStateError):
 
 class UnsupportedUpdateError(ReproError, TypeError):
     """An update (e.g. negative weight) is not supported by this sketch."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A sketch payload could not be encoded or decoded.
+
+    Raised for corrupt or truncated byte frames, payloads produced by a
+    newer schema version than this library understands, type mismatches
+    (deserializing a payload with the wrong sketch class) and item labels
+    outside the serializable domain.
+    """

@@ -8,7 +8,7 @@ sizes, at the default benchmark sizes, or — given time — at paper scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -25,6 +25,7 @@ import numpy as np
 from repro._typing import Item
 from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["CountSketch"]
 
@@ -38,7 +39,7 @@ def _hash64(item: Item, seed: int) -> int:
     return struct.unpack("<Q", digest)[0]
 
 
-class CountSketch:
+class CountSketch(SerializableSketch):
     """Count Sketch with ``depth`` rows of ``width`` signed counters.
 
     Parameters
@@ -186,3 +187,26 @@ class CountSketch:
         candidate set (e.g. from a Space Saving sketch run alongside it).
         """
         return {item: self.estimate(item) for item in items}
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "width": self._width,
+            "depth": self._depth,
+            "seed": self._seed,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+        }
+        return meta, {"table": self._table}
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(
+            width=int(meta["width"]), depth=int(meta["depth"]), seed=int(meta["seed"])
+        )
+        sketch._table = np.asarray(arrays["table"], dtype=np.float64)
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        return sketch

@@ -27,6 +27,8 @@ import numpy as np
 from repro._typing import Item
 from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import decode_item, encode_item
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["CountMinSketch"]
 
@@ -41,7 +43,7 @@ def _hash64(item: Item, seed: int) -> int:
     return struct.unpack("<Q", digest)[0]
 
 
-class CountMinSketch:
+class CountMinSketch(SerializableSketch):
     """CountMin sketch with optional conservative update and heavy-hitter heap.
 
     Parameters
@@ -311,3 +313,49 @@ class CountMinSketch:
     def memory_cells(self) -> int:
         """Number of counters allocated (width × depth)."""
         return self._width * self._depth
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "width": self._width,
+            "depth": self._depth,
+            "conservative": self._conservative,
+            "seed": self._seed,
+            "track_heavy_hitters": self._heavy_k,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "heavy_labels": [encode_item(item) for item in self._heavy_members],
+        }
+        arrays = {
+            "table": self._table,
+            "heavy_estimates": np.asarray(
+                list(self._heavy_members.values()), dtype=np.float64
+            ),
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(
+            width=int(meta["width"]),
+            depth=int(meta["depth"]),
+            conservative=bool(meta["conservative"]),
+            track_heavy_hitters=int(meta["track_heavy_hitters"]),
+            seed=int(meta["seed"]),
+        )
+        sketch._table = np.asarray(arrays["table"], dtype=np.float64)
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._heavy_members = {
+            decode_item(label): float(estimate)
+            for label, estimate in zip(meta["heavy_labels"], arrays["heavy_estimates"])
+        }
+        # The lazy heap is rebuilt from the members map (the source of
+        # truth); stale entries the original carried are irrelevant.
+        sketch._heavy_heap = [
+            (estimate, str(item), item) for item, estimate in sketch._heavy_members.items()
+        ]
+        heapq.heapify(sketch._heavy_heap)
+        return sketch

@@ -18,16 +18,21 @@ subset sum estimation.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
 
 from repro._typing import Item
 from repro.core.base import FrequentItemSketch
+from repro.core.batching import unit_rows
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import decode_item, encode_item
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["LossyCountingSketch"]
 
 
-class LossyCountingSketch(FrequentItemSketch):
+class LossyCountingSketch(FrequentItemSketch, SerializableSketch):
     """Lossy Counting with error parameter ``epsilon``.
 
     Parameters
@@ -97,6 +102,48 @@ class LossyCountingSketch(FrequentItemSketch):
             self._prune()
             self._current_bucket += 1
 
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "LossyCountingSketch":
+        """Batched unit-row ingestion, segmented at bucket boundaries.
+
+        The generic ``update_batch`` collapses duplicates into weighted
+        updates, which Lossy Counting rejects (it is defined for unit rows).
+        This override is exactly equivalent to the scalar :meth:`update`
+        loop instead: the batch is split at the bucket boundaries the scalar
+        loop would have crossed, and within one bucket segment the rows of
+        each item are pre-aggregated — valid because an entry's ``Δ`` is
+        fixed by the bucket in which it first appears and increments within
+        a segment are order-independent.  Pruning happens at the same row
+        positions, so the final entry set is identical to row-at-a-time
+        ingestion.
+        """
+        rows = unit_rows(items, weights, sketch_name="Lossy Counting")
+        width = self._bucket_width
+        position = 0
+        total_rows = len(rows)
+        while position < total_rows:
+            # Re-fetch each segment: _prune() rebinds self._entries.
+            entries = self._entries
+            room = width - (self._rows_processed % width)
+            segment = rows[position : position + room]
+            position += len(segment)
+            delta = self._current_bucket - 1
+            aggregated: Dict[Item, int] = {}
+            for item in segment:
+                aggregated[item] = aggregated.get(item, 0) + 1
+            for item, added in aggregated.items():
+                count, entry_delta = entries.get(item, (0, delta))
+                entries[item] = (count + added, entry_delta)
+            self._rows_processed += len(segment)
+            self._total_weight += float(len(segment))
+            if self._rows_processed % width == 0:
+                self._prune()
+                self._current_bucket += 1
+        return self
+
     def _prune(self) -> None:
         """Drop entries whose maximum possible count is at most the bucket index."""
         bucket = self._current_bucket
@@ -141,3 +188,40 @@ class LossyCountingSketch(FrequentItemSketch):
             for item, (count, _) in self._entries.items()
             if count >= threshold
         }
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels = []
+        counts = []
+        deltas = []
+        for item, (count, delta) in self._entries.items():
+            labels.append(encode_item(item))
+            counts.append(count)
+            deltas.append(delta)
+        meta = {
+            "epsilon": self._epsilon,
+            "capacity": self._capacity,
+            "current_bucket": self._current_bucket,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "labels": labels,
+        }
+        arrays = {
+            "counts": np.asarray(counts, dtype=np.int64),
+            "deltas": np.asarray(deltas, dtype=np.int64),
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(float(meta["epsilon"]), capacity=int(meta["capacity"]))
+        sketch._entries = {
+            decode_item(label): (int(count), int(delta))
+            for label, count, delta in zip(meta["labels"], arrays["counts"], arrays["deltas"])
+        }
+        sketch._current_bucket = int(meta["current_bucket"])
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        return sketch

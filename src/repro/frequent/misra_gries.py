@@ -20,15 +20,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+import numpy as np
+
 from repro._typing import Item
 from repro.core.base import FrequentItemSketch
 from repro.core.batching import collapse_batch
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import decode_item, encode_item
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["MisraGriesSketch"]
 
 
-class MisraGriesSketch(FrequentItemSketch):
+class MisraGriesSketch(FrequentItemSketch, SerializableSketch):
     """Classic Misra-Gries summary with ``m`` counters.
 
     Guarantees: for every item, ``true − n_tot/(m+1) ≤ estimate ≤ true``; any
@@ -200,3 +204,30 @@ class MisraGriesSketch(FrequentItemSketch):
             }
         merged._counters = combined
         return merged
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels = [encode_item(label) for label in self._counters]
+        meta = {
+            "capacity": self._capacity,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "decrements": self._decrements,
+            "labels": labels,
+        }
+        counts = np.asarray(list(self._counters.values()), dtype=np.int64)
+        return meta, {"counts": counts}
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(int(meta["capacity"]))
+        sketch._counters = {
+            decode_item(label): int(count)
+            for label, count in zip(meta["labels"], arrays["counts"])
+        }
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._decrements = int(meta["decrements"])
+        return sketch

@@ -17,16 +17,26 @@ be reproduced rather than taken on faith.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
+
+import numpy as np
 
 from repro._typing import Item
 from repro.core.base import FrequentItemSketch
+from repro.core.batching import unit_rows
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.io.codec import (
+    decode_item,
+    encode_item,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["StickySamplingSketch"]
 
 
-class StickySamplingSketch(FrequentItemSketch):
+class StickySamplingSketch(FrequentItemSketch, SerializableSketch):
     """Sticky Sampling with support ``epsilon`` and failure probability ``delta``.
 
     Parameters
@@ -102,6 +112,34 @@ class StickySamplingSketch(FrequentItemSketch):
         if self._rng.random() < self._sampling_rate:
             self._counters[item] = 1
 
+    def update_batch(
+        self,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+    ) -> "StickySamplingSketch":
+        """Batched unit-row ingestion.
+
+        The generic ``update_batch`` collapses duplicates into weighted
+        updates, which Sticky Sampling rejects (admission is a per-row coin
+        flip).  This override replays the rows through a tight loop that is
+        exactly equivalent to the scalar :meth:`update` loop — including the
+        order of every admission and diminution draw — with the per-call
+        weight validation and bookkeeping hoisted out.
+        """
+        rows = unit_rows(items, weights, sketch_name="Sticky Sampling")
+        rng_random = self._rng.random
+        for item in rows:
+            self._rows_processed += 1
+            if self._rows_processed > self._next_rate_change:
+                self._halve_rate()
+            counters = self._counters
+            if item in counters:
+                counters[item] += 1
+            elif rng_random() < self._sampling_rate:
+                counters[item] = 1
+        self._total_weight += float(len(rows))
+        return self
+
     def _halve_rate(self) -> None:
         """Halve the sampling rate and diminish every counter accordingly.
 
@@ -141,3 +179,34 @@ class StickySamplingSketch(FrequentItemSketch):
             for item, count in self._counters.items()
             if count >= threshold
         }
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "epsilon": self._epsilon,
+            "delta": self._delta,
+            "sampling_rate": self._sampling_rate,
+            "next_rate_change": self._next_rate_change,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "labels": [encode_item(item) for item in self._counters],
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        counts = np.asarray(list(self._counters.values()), dtype=np.int64)
+        return meta, {"counts": counts}
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(float(meta["epsilon"]), float(meta["delta"]))
+        sketch._counters = {
+            decode_item(label): int(count)
+            for label, count in zip(meta["labels"], arrays["counts"])
+        }
+        sketch._sampling_rate = float(meta["sampling_rate"])
+        sketch._next_rate_change = int(meta["next_rate_change"])
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sketch

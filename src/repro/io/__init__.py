@@ -1,0 +1,37 @@
+"""Sketch serialization: versioned round-trips across process boundaries.
+
+The paper's mergeability result only pays off operationally once sketch
+state can *leave* the process that built it — shipped from mappers to a
+reducer, checkpointed to disk, or round-tripped through a message queue.
+This package is that layer:
+
+* :mod:`repro.io.codec` — the versioned envelope format (binary frames
+  with a numpy fast path for counter arrays; a JSON-compatible dict twin).
+* :mod:`repro.io.serializable` — the :class:`SerializableSketch` mixin
+  giving every sketch ``to_bytes``/``from_bytes``/``to_dict``/``from_dict``
+  plus checkpoint helpers.
+* :mod:`repro.io.registry` — :func:`load_bytes` / :func:`load_dict`,
+  which dispatch a payload to the class that produced it.
+* :mod:`repro.io.checkpoint` — atomic :func:`save_checkpoint` /
+  :func:`load_checkpoint` for long-running streams.
+
+Round-trip guarantee: a deserialized sketch answers every query
+bit-identically to the original, and a seeded sketch continues its stream
+exactly as the original would have (the RNG state travels with it).
+"""
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.codec import SCHEMA_VERSION
+from repro.io.registry import load_bytes, load_dict, registered_types, resolve_sketch_type
+from repro.io.serializable import SerializableSketch
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SerializableSketch",
+    "load_bytes",
+    "load_dict",
+    "load_checkpoint",
+    "save_checkpoint",
+    "registered_types",
+    "resolve_sketch_type",
+]

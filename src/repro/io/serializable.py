@@ -1,0 +1,109 @@
+"""The serialization contract mixed into every serializable sketch.
+
+:class:`SerializableSketch` turns the two hooks a sketch implements —
+``_serial_state()`` and ``_from_serial_state()`` — into the full public
+round-trip API:
+
+* ``to_bytes()`` / ``from_bytes(data)`` — versioned binary frames with a
+  numpy fast path for counter arrays (see :mod:`repro.io.codec`);
+* ``to_dict()`` / ``from_dict(payload)`` — the JSON-compatible dict form
+  of the same envelope;
+* ``save_checkpoint(path)`` / ``load_checkpoint(path)`` — atomic
+  file-backed persistence for long streams.
+
+The contract both directions must honor: a deserialized sketch answers
+every query (point estimates, subset sums, heavy hitters) bit-identically
+to the instance that produced the payload, and — because the RNG state
+rides along — a *seeded* sketch continues ingesting the remainder of its
+stream exactly as the original would have.
+
+``from_bytes``/``from_dict`` called on a concrete class insist the payload
+was produced by that class; use :func:`repro.io.load_bytes` or
+:func:`repro.io.load_dict` when the type is not known in advance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Type, TypeVar
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.io.codec import (
+    envelope_from_dict,
+    envelope_to_dict,
+    pack_envelope,
+    unpack_envelope,
+)
+
+__all__ = ["SerializableSketch"]
+
+S = TypeVar("S", bound="SerializableSketch")
+
+
+class SerializableSketch:
+    """Mixin providing the versioned ``to_bytes``/``from_bytes`` contract."""
+
+    # -- hooks implemented by each sketch --------------------------------
+    def _serial_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Reduce the sketch to ``(meta, arrays)``.
+
+        ``meta`` must be JSON-safe (item labels passed through
+        :func:`repro.io.codec.encode_item`); ``arrays`` holds the bulky
+        numeric state as named numpy arrays.
+        """
+        raise NotImplementedError
+
+    @classmethod
+    def _from_serial_state(
+        cls: Type[S], meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> S:
+        """Rebuild a live sketch from the output of :meth:`_serial_state`."""
+        raise NotImplementedError
+
+    # -- public round-trip API -------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned binary envelope."""
+        meta, arrays = self._serial_state()
+        return pack_envelope(type(self).__name__, meta, arrays)
+
+    @classmethod
+    def from_bytes(cls: Type[S], data: bytes) -> S:
+        """Reconstruct a sketch of this class from :meth:`to_bytes` output."""
+        type_name, _, meta, arrays = unpack_envelope(data)
+        cls._check_payload_type(type_name)
+        return cls._from_serial_state(meta, arrays)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to the JSON-compatible dict envelope."""
+        meta, arrays = self._serial_state()
+        return envelope_to_dict(type(self).__name__, meta, arrays)
+
+    @classmethod
+    def from_dict(cls: Type[S], payload: Dict[str, Any]) -> S:
+        """Reconstruct a sketch of this class from :meth:`to_dict` output."""
+        type_name, _, meta, arrays = envelope_from_dict(payload)
+        cls._check_payload_type(type_name)
+        return cls._from_serial_state(meta, arrays)
+
+    @classmethod
+    def _check_payload_type(cls, type_name: str) -> None:
+        if type_name != cls.__name__:
+            raise SerializationError(
+                f"payload holds a {type_name}, not a {cls.__name__}; "
+                "use repro.io.load_bytes / load_dict for type-dispatched loading"
+            )
+
+    # -- checkpointing ----------------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Atomically write this sketch's binary state to ``path``."""
+        from repro.io.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def load_checkpoint(cls: Type[S], path) -> S:
+        """Load a checkpoint previously written by a sketch of this class."""
+        from repro.io.checkpoint import load_checkpoint
+
+        return load_checkpoint(path, expected_type=cls)

@@ -23,7 +23,7 @@ correction exactly as in Cohen et al.'s estimator.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro._typing import Item
 from repro.core.base import SubsetSumSketch

@@ -23,10 +23,14 @@ import random
 import struct
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro._typing import Item, ItemPredicate
 from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError
 from repro.errors import InvalidParameterError
+from repro.io.codec import decode_item, encode_item
+from repro.io.serializable import SerializableSketch
 from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
 
 __all__ = ["BottomKSketch", "stable_rank"]
@@ -50,7 +54,7 @@ def stable_rank(item: Item, seed: int) -> float:
     return (value + 1) / (_TWO_64 + 2)
 
 
-class BottomKSketch:
+class BottomKSketch(SerializableSketch):
     """Uniform item sample with exact per-item counts.
 
     Parameters
@@ -252,3 +256,46 @@ class BottomKSketch:
 
     def __contains__(self, item: Item) -> bool:
         return item in self._bins
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels = []
+        ranks = []
+        counts = []
+        for item, (rank, count) in self._bins.items():
+            labels.append(encode_item(item))
+            ranks.append(rank)
+            counts.append(count)
+        meta = {
+            "capacity": self._capacity,
+            "seed": self._seed,
+            # inf (nothing evicted yet) is not JSON-safe; None marks it.
+            "threshold_rank": (
+                None if self._threshold_rank == float("inf") else self._threshold_rank
+            ),
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "distinct_seen": self._distinct_seen,
+            "labels": labels,
+        }
+        arrays = {
+            "ranks": np.asarray(ranks, dtype=np.float64),
+            "counts": np.asarray(counts, dtype=np.float64),
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sketch = cls(int(meta["capacity"]), seed=int(meta["seed"]))
+        sketch._bins = {
+            decode_item(label): (float(rank), float(count))
+            for label, rank, count in zip(meta["labels"], arrays["ranks"], arrays["counts"])
+        }
+        threshold = meta["threshold_rank"]
+        sketch._threshold_rank = float("inf") if threshold is None else float(threshold)
+        sketch._rows_processed = int(meta["rows_processed"])
+        sketch._total_weight = float(meta["total_weight"])
+        sketch._distinct_seen = int(meta["distinct_seen"])
+        return sketch

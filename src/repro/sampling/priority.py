@@ -21,16 +21,25 @@ import heapq
 import random
 from typing import Dict, Iterable, Optional, Tuple
 
+import numpy as np
+
 from repro._typing import Item, ItemPredicate
 from repro.core.batching import collapse_batch
 from repro.core.variance import EstimateWithError
 from repro.errors import EmptySketchError, InvalidParameterError
+from repro.io.codec import (
+    decode_item,
+    encode_item,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+from repro.io.serializable import SerializableSketch
 from repro.sampling.horvitz_thompson import SampledItem, WeightedSample
 
 __all__ = ["PrioritySample", "StreamingPrioritySampler"]
 
 
-class PrioritySample:
+class PrioritySample(SerializableSketch):
     """A priority sample drawn from pre-aggregated ``item -> value`` data.
 
     Parameters
@@ -174,8 +183,44 @@ class PrioritySample:
             sample.add(SampledItem(item, value, max(pi, 1e-12)))
         return sample
 
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "sample_size": self._sample_size,
+            "threshold": self._threshold,
+            "value_labels": [encode_item(item) for item in self._values],
+            "sampled_labels": [encode_item(item) for item in self._sampled],
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        arrays = {
+            "values": np.asarray(list(self._values.values()), dtype=np.float64),
+            "sampled_values": np.asarray(list(self._sampled.values()), dtype=np.float64),
+        }
+        return meta, arrays
 
-class StreamingPrioritySampler:
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        # Bypass __init__: the sample was already drawn by the serializing
+        # instance and must not be redrawn on load.
+        sample = cls.__new__(cls)
+        sample._sample_size = int(meta["sample_size"])
+        sample._threshold = float(meta["threshold"])
+        sample._values = {
+            decode_item(label): float(value)
+            for label, value in zip(meta["value_labels"], arrays["values"])
+        }
+        sample._sampled = {
+            decode_item(label): float(value)
+            for label, value in zip(meta["sampled_labels"], arrays["sampled_values"])
+        }
+        sample._rng = random.Random()
+        sample._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sample
+
+
+class StreamingPrioritySampler(SerializableSketch):
     """One-pass priority sampler over pre-aggregated ``(item, value)`` pairs.
 
     Keeps the ``k`` items with the smallest priorities (equivalently the
@@ -263,3 +308,54 @@ class StreamingPrioritySampler:
                 pi = min(1.0, value / threshold_value)
             sample.add(SampledItem(item, value, max(pi, 1e-12)))
         return sample
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        labels = []
+        sequences = []
+        priorities = []
+        values = []
+        for negated_priority, sequence, item, value in self._heap:
+            labels.append(encode_item(item))
+            sequences.append(sequence)
+            priorities.append(-negated_priority)
+            values.append(value)
+        meta = {
+            "sample_size": self._sample_size,
+            "threshold_priority": (
+                None
+                if self._threshold_priority == float("inf")
+                else self._threshold_priority
+            ),
+            "sequence": self._sequence,
+            "items_seen": self._items_seen,
+            "labels": labels,
+            "sequences": sequences,
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        arrays = {
+            "priorities": np.asarray(priorities, dtype=np.float64),
+            "values": np.asarray(values, dtype=np.float64),
+        }
+        return meta, arrays
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sampler = cls(int(meta["sample_size"]))
+        sampler._heap = [
+            (-float(priority), int(sequence), decode_item(label), float(value))
+            for label, sequence, priority, value in zip(
+                meta["labels"], meta["sequences"], arrays["priorities"], arrays["values"]
+            )
+        ]
+        heapq.heapify(sampler._heap)
+        threshold = meta["threshold_priority"]
+        sampler._threshold_priority = (
+            float("inf") if threshold is None else float(threshold)
+        )
+        sampler._sequence = int(meta["sequence"])
+        sampler._items_seen = int(meta["items_seen"])
+        sampler._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sampler

@@ -21,6 +21,13 @@ from typing import Dict, Generic, Iterable, List, Optional, TypeVar
 
 from repro._typing import Item, ItemPredicate
 from repro.errors import InvalidParameterError
+from repro.io.codec import (
+    decode_item,
+    encode_item,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+)
+from repro.io.serializable import SerializableSketch
 
 __all__ = ["SingleItemReservoir", "ReservoirSampler"]
 
@@ -59,7 +66,7 @@ class SingleItemReservoir(Generic[T]):
         return False
 
 
-class ReservoirSampler(Generic[T]):
+class ReservoirSampler(Generic[T], SerializableSketch):
     """Uniform without-replacement sample of ``k`` rows (Algorithm R).
 
     Every row of the stream has an equal chance ``k / n`` of appearing in the
@@ -127,3 +134,23 @@ class ReservoirSampler(Generic[T]):
         return float(
             sum(value for item, value in self.item_estimates().items() if predicate(item))
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (repro.io contract)
+    # ------------------------------------------------------------------
+    def _serial_state(self):
+        meta = {
+            "capacity": self._capacity,
+            "rows_processed": self._rows_processed,
+            "reservoir": [encode_item(row) for row in self._reservoir],
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        return meta, {}
+
+    @classmethod
+    def _from_serial_state(cls, meta, arrays):
+        sampler = cls(int(meta["capacity"]))
+        sampler._reservoir = [decode_item(row) for row in meta["reservoir"]]
+        sampler._rows_processed = int(meta["rows_processed"])
+        sampler._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))
+        return sampler

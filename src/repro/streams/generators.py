@@ -13,7 +13,7 @@ are integers, falling back to Python lists otherwise.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 

@@ -1,0 +1,143 @@
+"""Checkpoint/restore integration: long epoch streams survive restarts.
+
+The scenario mirrors the paper's sorted-stream experiments (figures 8-10):
+a stream ordered by epoch, queried per epoch after ingestion.  A process
+consuming such a stream is checkpointed mid-flight, "crashes", is restored
+from the checkpoint, and finishes the stream — and must end up in exactly
+the state an uninterrupted run reaches, for a single sketch, a sharded
+ensemble and the multiprocess executor alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.distributed.parallel import ParallelSketchExecutor
+from repro.distributed.sharded import ShardedSketch
+from repro.io import load_checkpoint, save_checkpoint
+from repro.streams.epochs import EpochPartition
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import iterate_rows
+from repro.streams.pathological import sorted_stream
+
+SEED = 20180618
+NUM_EPOCHS = 5
+
+
+@pytest.fixture(scope="module")
+def epoch_setup():
+    model = scaled_weibull_counts(num_items=400, shape=0.35, target_total=20_000)
+    partition = EpochPartition(model, num_epochs=NUM_EPOCHS, ascending=True)
+    rows = list(iterate_rows(sorted_stream(model, ascending=True)))
+    return partition, rows
+
+
+def _epoch_estimates(sketch, partition):
+    return [sketch.subset_sum(predicate) for predicate in partition.predicates()]
+
+
+def test_single_sketch_checkpoint_mid_epoch_stream(tmp_path, epoch_setup):
+    partition, rows = epoch_setup
+    # Cut inside an epoch, not on a boundary, to make the restart ugly.
+    cut = len(rows) * 2 // 5 + 17
+
+    uninterrupted = UnbiasedSpaceSaving(capacity=80, seed=SEED)
+    for row in rows:
+        uninterrupted.update(row)
+
+    first_process = UnbiasedSpaceSaving(capacity=80, seed=SEED)
+    for row in rows[:cut]:
+        first_process.update(row)
+    checkpoint = tmp_path / "sketch.ckpt"
+    save_checkpoint(first_process, checkpoint)
+    del first_process  # the "crash"
+
+    second_process = load_checkpoint(checkpoint, expected_type=UnbiasedSpaceSaving)
+    for row in rows[cut:]:
+        second_process.update(row)
+
+    assert second_process.estimates() == uninterrupted.estimates()
+    assert _epoch_estimates(second_process, partition) == _epoch_estimates(
+        uninterrupted, partition
+    )
+    assert second_process.total_estimate() == float(len(rows))
+
+
+def test_checkpoint_is_atomic_and_overwrites(tmp_path, epoch_setup):
+    _, rows = epoch_setup
+    sketch = UnbiasedSpaceSaving(capacity=40, seed=SEED)
+    checkpoint = tmp_path / "rolling.ckpt"
+    snapshots = []
+    for start in range(0, len(rows), len(rows) // 4):
+        for row in rows[start : start + len(rows) // 4]:
+            sketch.update(row)
+        save_checkpoint(sketch, checkpoint)
+        snapshots.append(sketch.rows_processed)
+    # Only the newest snapshot survives; no .tmp litter is left behind.
+    assert load_checkpoint(checkpoint).rows_processed == snapshots[-1]
+    assert list(tmp_path.iterdir()) == [checkpoint]
+
+
+def test_sharded_ensemble_checkpoint_on_epoch_stream(tmp_path, epoch_setup):
+    partition, rows = epoch_setup
+    batches = [
+        np.asarray(rows[start : start + 3000]) for start in range(0, len(rows), 3000)
+    ]
+    half = len(batches) // 2
+
+    uninterrupted = ShardedSketch(capacity=40, num_shards=4, seed=SEED)
+    for batch in batches:
+        uninterrupted.update_batch(batch)
+
+    first = ShardedSketch(capacity=40, num_shards=4, seed=SEED)
+    for batch in batches[:half]:
+        first.update_batch(batch)
+    checkpoint = tmp_path / "sharded.ckpt"
+    first.save_checkpoint(checkpoint)
+
+    resumed = ShardedSketch.load_checkpoint(checkpoint)
+    for batch in batches[half:]:
+        resumed.update_batch(batch)
+
+    assert resumed.estimates() == uninterrupted.estimates()
+    assert _epoch_estimates(resumed, partition) == _epoch_estimates(
+        uninterrupted, partition
+    )
+
+
+def test_executor_checkpoint_crosses_process_generations(tmp_path, epoch_setup):
+    # The executor that resumes from the checkpoint uses a *real* worker
+    # pool while the original ran inline — the checkpoint carries shard
+    # frames, so the process topology on either side is irrelevant.
+    partition, rows = epoch_setup
+    batches = [
+        np.asarray(rows[start : start + 4000]) for start in range(0, len(rows), 4000)
+    ]
+    half = len(batches) // 2
+
+    uninterrupted = ShardedSketch(capacity=40, num_shards=4, seed=SEED)
+    for batch in batches:
+        uninterrupted.update_batch(batch)
+
+    first = ParallelSketchExecutor(40, 4, seed=SEED, num_workers=0)
+    for batch in batches[:half]:
+        first.update_batch(batch)
+    checkpoint = tmp_path / "executor.ckpt"
+    first.save_checkpoint(checkpoint)
+
+    resumed = ParallelSketchExecutor.load_checkpoint(checkpoint)
+    assert resumed.num_workers == first.num_workers
+    with ParallelSketchExecutor(40, 4, seed=SEED, num_workers=2) as pooled:
+        # Graft the checkpointed frames into the pooled executor to finish
+        # the stream across processes.
+        pooled._shard_states = resumed.shard_states()
+        pooled._rows_processed = resumed.rows_processed
+        pooled._total_weight = resumed.total_weight
+        for batch in batches[half:]:
+            pooled.update_batch(batch)
+        assert pooled.estimates() == uninterrupted.estimates()
+        assert _epoch_estimates(pooled, partition) == _epoch_estimates(
+            uninterrupted, partition
+        )

@@ -35,6 +35,7 @@ from repro.frequent.count_sketch import CountSketch
 from repro.frequent.countmin import CountMinSketch
 from repro.frequent.lossy_counting import LossyCountingSketch
 from repro.frequent.misra_gries import MisraGriesSketch
+from repro.frequent.sticky_sampling import StickySamplingSketch
 from repro.sampling.bottom_k import BottomKSketch
 from repro.sampling.priority import PrioritySample, StreamingPrioritySampler
 from repro.sampling.varopt import varopt_sample, varopt_sample_batch
@@ -192,15 +193,80 @@ def test_additive_batch_matches_raw_row_loop(factory, batch_workload, batch_seed
     assert batched.total_weight == scalar.total_weight
 
 
-def test_unit_only_sketches_reject_collapsed_duplicates():
-    # Lossy Counting is defined for unit rows only; a batch with duplicate
-    # items collapses to a weight > 1 and is rejected rather than silently
-    # misapplied.  Duplicate-free batches still work through the base path.
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: LossyCountingSketch(epsilon=0.01),
+        lambda: StickySamplingSketch(epsilon=0.02, seed=20180618),
+    ],
+    ids=["lossy_counting", "sticky_sampling"],
+)
+def test_unit_row_batch_matches_scalar_loop(factory, batch_workload):
+    # The dedicated unit-row overrides replay the batch exactly as the
+    # scalar loop would — same bucket boundaries / rate halvings, same RNG
+    # draw order — so the final state is identical, not just statistically
+    # equivalent.
+    scalar = factory()
+    for row in batch_workload:
+        scalar.update(row)
+    batched = factory()
+    batched.update_batch(batch_workload)
+    assert batched.estimates() == scalar.estimates()
+    assert batched.rows_processed == scalar.rows_processed
+    assert batched.total_weight == scalar.total_weight
+
+    array_batched = factory()
+    array_batched.update_batch(np.asarray(batch_workload, dtype=np.int64))
+    assert array_batched.estimates() == scalar.estimates()
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: LossyCountingSketch(epsilon=0.01),
+        lambda: StickySamplingSketch(epsilon=0.02, seed=20180618),
+    ],
+    ids=["lossy_counting", "sticky_sampling"],
+)
+def test_unit_row_batch_split_points_are_irrelevant(factory, batch_workload):
+    # Splitting the same rows into arbitrary chunks (crossing bucket and
+    # rate-change boundaries mid-chunk) leaves the state unchanged.
+    whole = factory()
+    whole.update_batch(batch_workload)
+    chunked = factory()
+    for start in range(0, len(batch_workload), 997):
+        chunked.update_batch(batch_workload[start : start + 997])
+    assert chunked.estimates() == whole.estimates()
+    assert chunked.rows_processed == whole.rows_processed
+
+
+def test_unit_row_batch_weight_validation():
+    with pytest.raises(UnsupportedUpdateError):
+        LossyCountingSketch(epsilon=0.1).update_batch(["a", "b"], [1.0, 2.0])
+    with pytest.raises(UnsupportedUpdateError):
+        StickySamplingSketch(epsilon=0.1, seed=0).update_batch(["a"], [0.5])
+    with pytest.raises(InvalidParameterError):
+        LossyCountingSketch(epsilon=0.1).update_batch(["a", "b"], [1.0])
+    # All-ones weights are accepted as unit rows.
+    sketch = StickySamplingSketch(epsilon=0.1, seed=0)
+    sketch.update_batch(["a", "b", "a"], [1, 1, 1])
+    assert sketch.rows_processed == 3
+
+
+def test_unit_only_sketches_accept_duplicate_batches():
+    # Lossy Counting is defined for unit rows only; its dedicated batch
+    # override (PR 2) replays duplicates as unit rows instead of rejecting
+    # the collapsed weight the generic path would produce.
     sketch = LossyCountingSketch(0.02, seed=0)
     sketch.update_batch(["a", "b", "c"])
     assert sketch.rows_processed == 3
+    duplicated = LossyCountingSketch(0.02, seed=0)
+    duplicated.update_batch(["a", "a"])
+    assert duplicated.rows_processed == 2
+    assert duplicated.estimate("a") == 2.0
+    # Non-unit weights are still rejected explicitly.
     with pytest.raises(UnsupportedUpdateError):
-        LossyCountingSketch(0.02, seed=0).update_batch(["a", "a"])
+        LossyCountingSketch(0.02, seed=0).update_batch(["a"], [2.0])
 
 
 def test_update_batch_weight_validation():

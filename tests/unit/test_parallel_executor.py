@@ -1,0 +1,183 @@
+"""ParallelSketchExecutor: multiprocess sharding matches in-process sharding.
+
+The executor's contract is that process boundaries are invisible: on the
+same seeded workload its per-shard states — and therefore every query —
+are *equal* to ``ShardedSketch``'s, whether the batches ran through a
+real worker pool or the inline fallback.  These tests pin that down,
+plus the executor's own serialization/checkpointing and pool lifecycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.parallel import ParallelSketchExecutor, _apply_serialized_batch
+from repro.distributed.sharded import ShardedSketch
+from repro.errors import InvalidParameterError
+from repro.io import load_bytes
+
+SEED = 20180618
+CAPACITY = 24
+NUM_SHARDS = 4
+
+
+@pytest.fixture
+def chunks(batch_workload):
+    array = np.asarray(batch_workload, dtype=np.int64)
+    return [array[start : start + 2000] for start in range(0, len(array), 2000)]
+
+
+@pytest.fixture
+def sharded(chunks):
+    reference = ShardedSketch(CAPACITY, NUM_SHARDS, seed=SEED)
+    for chunk in chunks:
+        reference.update_batch(chunk)
+    return reference
+
+
+def _fill(executor, chunks):
+    for chunk in chunks:
+        executor.update_batch(chunk)
+    return executor
+
+
+class TestMatchesShardedSketch:
+    def test_inline_executor_matches(self, chunks, sharded):
+        executor = _fill(
+            ParallelSketchExecutor(CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0),
+            chunks,
+        )
+        assert executor.estimates() == sharded.estimates()
+        assert executor.rows_processed == sharded.rows_processed
+        assert executor.total_weight == sharded.total_weight
+
+    def test_pooled_executor_matches(self, chunks, sharded):
+        with ParallelSketchExecutor(
+            CAPACITY, NUM_SHARDS, seed=SEED, num_workers=2
+        ) as executor:
+            _fill(executor, chunks)
+            assert executor.estimates() == sharded.estimates()
+            assert executor.total_estimate() == sharded.total_estimate()
+            assert executor.top_k(10) == sharded.top_k(10)
+            assert executor.heavy_hitters(0.01) == sharded.heavy_hitters(0.01)
+
+    def test_merged_matches(self, chunks, sharded):
+        executor = _fill(
+            ParallelSketchExecutor(CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0),
+            chunks,
+        )
+        assert executor.merged().estimates() == sharded.merged().estimates()
+        assert (
+            executor.merged(capacity=12).estimates()
+            == sharded.merged(capacity=12).estimates()
+        )
+
+    def test_subset_queries_match(self, chunks, sharded):
+        executor = _fill(
+            ParallelSketchExecutor(CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0),
+            chunks,
+        )
+        predicate = lambda item: int(item) % 5 == 0  # noqa: E731
+        assert executor.subset_sum(predicate) == sharded.subset_sum(predicate)
+        ours = executor.subset_sum_with_error(predicate)
+        theirs = sharded.subset_sum_with_error(predicate)
+        assert ours.estimate == theirs.estimate
+        assert ours.variance == theirs.variance
+
+    def test_scalar_updates_route_identically(self, sharded, batch_workload):
+        executor = ParallelSketchExecutor(
+            CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0
+        )
+        for item in batch_workload[:500]:
+            executor.update(item)
+        reference = ShardedSketch(CAPACITY, NUM_SHARDS, seed=SEED)
+        for item in batch_workload[:500]:
+            reference.update(item)
+        assert executor.estimates() == reference.estimates()
+        assert executor.shard_index(batch_workload[0]) == reference.shard_index(
+            batch_workload[0]
+        )
+
+
+class TestExecutorMechanics:
+    def test_worker_round_trips_state(self):
+        from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+
+        sketch = UnbiasedSpaceSaving(8, seed=3)
+        state = sketch.to_bytes()
+        new_state = _apply_serialized_batch(state, ["a", "b"], [2.0, 1.0], 2, 3.0)
+        updated = UnbiasedSpaceSaving.from_bytes(new_state)
+        assert updated.estimate("a") == 2.0
+        assert updated.total_weight == 3.0
+        # The driver-side frame is untouched (states are immutable bytes).
+        assert UnbiasedSpaceSaving.from_bytes(state).total_weight == 0.0
+
+    def test_empty_batch_is_a_noop(self):
+        executor = ParallelSketchExecutor(8, 2, seed=0, num_workers=0)
+        executor.update_batch([])
+        assert executor.rows_processed == 0
+        assert len(executor) == 0
+
+    def test_untouched_shards_keep_their_frames(self):
+        executor = ParallelSketchExecutor(8, 2, seed=0, num_workers=0)
+        before = executor.shard_states()
+        target = "x"
+        index = executor.shard_index(target)
+        executor.update_batch([target] * 10)
+        after = executor.shard_states()
+        assert after[index] != before[index]
+        assert after[1 - index] == before[1 - index]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelSketchExecutor(8, 0)
+        with pytest.raises(InvalidParameterError):
+            ParallelSketchExecutor(8, 2, seed=0, num_workers=0).top_k(-1)
+
+    def test_close_is_idempotent_and_leaves_queries_working(self, chunks):
+        executor = ParallelSketchExecutor(
+            CAPACITY, NUM_SHARDS, seed=SEED, num_workers=2
+        )
+        _fill(executor, chunks[:2])
+        estimates = executor.estimates()
+        executor.close()
+        executor.close()
+        assert executor.estimates() == estimates
+        # Ingestion after close lazily recreates the pool.
+        executor.update_batch(chunks[2])
+        executor.close()
+
+    def test_query_cache_invalidates_on_update(self):
+        executor = ParallelSketchExecutor(8, 2, seed=0, num_workers=0)
+        executor.update_batch(["a"] * 5)
+        assert executor.estimate("a") == 5.0
+        executor.update_batch(["a"] * 5)
+        assert executor.estimate("a") == 10.0
+
+
+class TestExecutorSerialization:
+    def test_round_trip_preserves_queries(self, chunks, sharded):
+        executor = _fill(
+            ParallelSketchExecutor(CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0),
+            chunks,
+        )
+        restored = ParallelSketchExecutor.from_bytes(executor.to_bytes())
+        assert restored.estimates() == executor.estimates()
+        assert restored.rows_processed == executor.rows_processed
+        dispatched = load_bytes(executor.to_bytes())
+        assert type(dispatched) is ParallelSketchExecutor
+        assert dispatched.estimates() == executor.estimates()
+
+    def test_checkpoint_restore_continues_identically(self, tmp_path, chunks, sharded):
+        half = len(chunks) // 2
+        executor = _fill(
+            ParallelSketchExecutor(CAPACITY, NUM_SHARDS, seed=SEED, num_workers=0),
+            chunks[:half],
+        )
+        checkpoint = tmp_path / "executor.ckpt"
+        executor.save_checkpoint(checkpoint)
+        restored = ParallelSketchExecutor.load_checkpoint(checkpoint)
+        _fill(restored, chunks[half:])
+        assert restored.estimates() == sharded.estimates()
+        assert restored.rows_processed == sharded.rows_processed

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from collections import Counter
 
 import numpy as np
 import pytest

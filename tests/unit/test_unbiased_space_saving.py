@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from collections import Counter
 
 import numpy as np
 import pytest
