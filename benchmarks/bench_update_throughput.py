@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 import pytest
 
+from repro.api.build import build
 from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.distributed.parallel import ParallelSketchExecutor
@@ -92,29 +93,44 @@ def run_ingestion_comparison(
         stream[start : start + batch_rows] for start in range(0, len(stream), batch_rows)
     ]
 
+    # All four modes are constructed through the repro.build facade; the
+    # hot loops run on the unwrapped estimator so the record measures
+    # ingestion, not session passthrough (which test_throughput_session_facade
+    # times separately).
     def scalar() -> UnbiasedSpaceSaving:
-        sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+        sketch = build("unbiased_space_saving", size=capacity, seed=seed).estimator
         update = sketch.update
         for row in scalar_rows:
             update(row)
         return sketch
 
     def batched() -> UnbiasedSpaceSaving:
-        sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+        sketch = build("unbiased_space_saving", size=capacity, seed=seed).estimator
         for chunk in chunks:
             sketch.update_batch(chunk)
         return sketch
 
     def sharded() -> ShardedSketch:
-        sketch = ShardedSketch(capacity, num_shards, seed=seed)
+        sketch = build(
+            "unbiased_space_saving",
+            size=capacity,
+            backend="sharded",
+            num_shards=num_shards,
+            seed=seed,
+        ).estimator
         for chunk in chunks:
             sketch.update_batch(chunk)
         return sketch
 
     def parallel() -> ParallelSketchExecutor:
-        executor = ParallelSketchExecutor(
-            capacity, num_shards, seed=seed, num_workers=num_workers
-        )
+        executor = build(
+            "unbiased_space_saving",
+            size=capacity,
+            backend="parallel",
+            num_shards=num_shards,
+            seed=seed,
+            num_workers=num_workers,
+        ).estimator
         for chunk in chunks:
             executor.update_batch(chunk)
         return executor
@@ -288,6 +304,17 @@ def test_throughput_unbiased_space_saving_batched(benchmark, workload_array):
         _ingest_batched, lambda: UnbiasedSpaceSaving(CAPACITY, seed=0), workload_array
     )
     assert sketch.rows_processed == len(workload_array)
+
+
+def test_throughput_session_facade(benchmark, workload):
+    # Scalar updates through the StreamSession facade: quantifies the
+    # per-row passthrough cost of the normalized API vs the raw sketch.
+    sketch = benchmark(
+        _ingest,
+        lambda: build("unbiased_space_saving", size=CAPACITY, seed=0),
+        workload,
+    )
+    assert sketch.rows_processed == len(workload)
 
 
 def test_throughput_sharded_batched(benchmark, workload_array):

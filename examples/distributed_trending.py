@@ -49,7 +49,7 @@ def main() -> None:
     for index, region in enumerate(regions):
         events = simulate_region_stream(region, num_events=60_000, seed=index)
         sketch = UnbiasedSpaceSaving(capacity, seed=index)
-        sketch.update_stream(events)
+        sketch.extend(events)
         region_sketches[region] = sketch
         top_topic, top_count = sketch.top_k(1)[0]
         print(f"{region}: {sketch.rows_processed:,} events, top topic {top_topic} "

@@ -4,21 +4,25 @@ Run with::
 
     python examples/quickstart.py
 
-The example builds an Unbiased Space Saving sketch over a synthetic
-disaggregated click stream (one row per click, many rows per ad), then
-answers the two questions the paper's sketch is designed for:
+The example builds an Unbiased Space Saving session through the
+``repro.build`` facade over a synthetic disaggregated click stream (one row
+per click, many rows per ad), then answers the two questions the paper's
+sketch is designed for:
 
 1. *Disaggregated subset sums* — "how many clicks did ads from advertiser X
    get?" for arbitrary, after-the-fact filters, with confidence intervals.
 2. *Frequent items* — "which ads are the heavy hitters?"
+
+The same session API runs unchanged on the scale-out backends: swap
+``backend="inline"`` for ``"sharded"`` or ``"parallel"`` and ingestion
+routes across hash-partitioned shards without touching the query code.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import UnbiasedSpaceSaving
-from repro.query.engine import SketchQueryEngine
+import repro
 from repro.streams.frequency import scaled_weibull_counts
 from repro.streams.generators import exchangeable_stream
 
@@ -32,30 +36,31 @@ def main() -> None:
     print(f"stream: {ads.total:,} click rows over {ads.num_items:,} ads")
 
     # ------------------------------------------------------------------
-    # 2. Feed the raw (disaggregated) rows into the sketch.  update_batch is
-    #    the vectorized fast path; the scalar equivalent is
-    #    ``for ad_id in iterate_rows(stream): sketch.update(ad_id)``.
+    # 2. Build a session and feed it the raw (disaggregated) rows.
+    #    update_batch is the vectorized fast path; session.extend(rows)
+    #    is the scalar equivalent for arbitrary iterables.
     # ------------------------------------------------------------------
-    sketch = UnbiasedSpaceSaving(capacity=500, seed=42)
-    sketch.update_batch(stream)
-    print(f"sketch: {len(sketch)} bins retained, total preserved exactly = "
-          f"{sketch.total_estimate():,.0f}")
+    session = repro.build("unbiased_space_saving", size=500, seed=42)
+    session.update_batch(stream)
+    print(f"session: {session!r}")
+    print(f"  total preserved exactly = {session.total().estimate:,.0f}")
 
     # ------------------------------------------------------------------
     # 3. Subset sums with confidence intervals for arbitrary filters.
+    #    Every session read returns an EstimateWithError / QueryResult —
+    #    never a bare float — regardless of the underlying sketch class.
     # ------------------------------------------------------------------
     # Pretend ads with id divisible by 7 belong to one advertiser.
     advertiser_filter = lambda ad_id: ad_id % 7 == 0  # noqa: E731
-    estimate = sketch.subset_sum_with_error(advertiser_filter)
+    estimate = session.subset_sum(advertiser_filter)
     truth = ads.subset_sum(advertiser_filter)
     low, high = estimate.confidence_interval(0.95)
     print("\nadvertiser clicks (ads with id % 7 == 0)")
     print(f"  true count      : {truth:,.0f}")
     print(f"  sketch estimate : {estimate.estimate:,.0f}  (95% CI [{low:,.0f}, {high:,.0f}])")
 
-    # The same query through the SQL-ish engine.
-    engine = SketchQueryEngine(sketch)
-    grouped = engine.select_sum(group_by=lambda ad_id: ad_id % 3).groups
+    # The same query through the SQL-ish surface.
+    grouped = session.select_sum(group_by=lambda ad_id: ad_id % 3).groups
     print("\nclicks grouped by (ad_id % 3):")
     for group, value in sorted(grouped.items()):
         exact = ads.subset_sum(lambda ad_id, g=group: ad_id % 3 == g)
@@ -65,8 +70,22 @@ def main() -> None:
     # 4. Frequent items.
     # ------------------------------------------------------------------
     print("\ntop 5 ads by estimated clicks:")
-    for ad_id, count in sketch.top_k(5):
+    for ad_id, count in session.top_k(5).groups.items():
         print(f"  ad {ad_id:>5}: estimated {count:>10,.0f}   true {ads.count(ad_id):>10,}")
+
+    # ------------------------------------------------------------------
+    # 5. The same workload, scale-out: identical queries, sharded backend.
+    # ------------------------------------------------------------------
+    with repro.build(
+        "unbiased_space_saving", size=500, backend="sharded", num_shards=8, seed=42
+    ) as sharded:
+        sharded.update_batch(stream)
+        sharded_estimate = sharded.subset_sum(advertiser_filter)
+        print(
+            f"\nsharded backend ({sharded.estimator.num_shards} shards): "
+            f"advertiser estimate {sharded_estimate.estimate:,.0f} "
+            f"(± {sharded_estimate.std_error:,.0f})"
+        )
 
 
 if __name__ == "__main__":

@@ -18,20 +18,30 @@ out by subsystem:
   simulated map-reduce merging.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
 
-Every sketch ingests rows one at a time via ``update(item, weight)`` or in
-bulk via the vectorized ``update_batch(items, weights)`` fast path;
-:class:`~repro.distributed.sharded.ShardedSketch` scales batched ingestion
-across hash-partitioned shards.
+Every sketch ingests rows one at a time via ``update(item, weight)``, in
+bulk via the vectorized ``update_batch(items, weights)`` fast path, or
+from any iterable via ``extend(rows)``; :mod:`repro.api` adds the unified
+estimator protocol layer and the :func:`repro.build` facade, whose
+:class:`~repro.api.StreamSession` routes the same three calls to inline,
+sharded or multiprocess execution transparently.
 
 Quickstart
 ----------
->>> from repro import UnbiasedSpaceSaving
->>> sketch = UnbiasedSpaceSaving(capacity=100, seed=42)
->>> _ = sketch.update_batch(["ad1", "ad2", "ad1", "ad3"])
->>> sketch.subset_sum(lambda ad: ad in {"ad1", "ad3"})
+>>> import repro
+>>> session = repro.build("unbiased_space_saving", size=100, seed=42)
+>>> _ = session.update_batch(["ad1", "ad2", "ad1", "ad3"])
+>>> session.subset_sum(lambda ad: ad in {"ad1", "ad3"}).estimate
 3.0
 """
 
+from repro.api import (
+    QueryResult,
+    StreamSession,
+    available_specs,
+    build,
+    capabilities,
+    supports,
+)
 from repro.core import (
     AdaptiveUnbiasedSpaceSaving,
     DeterministicSpaceSaving,
@@ -45,20 +55,27 @@ from repro.core import (
     merge_unbiased,
 )
 from repro.distributed import ParallelSketchExecutor, ShardedSketch
+from repro.errors import CapabilityError
 from repro.io import load_bytes, load_checkpoint, load_dict, save_checkpoint
 from repro.query import SketchQueryEngine, SubsetSumEstimator
 from repro.version import __version__
 
 __all__ = [
     "AdaptiveUnbiasedSpaceSaving",
+    "CapabilityError",
     "DeterministicSpaceSaving",
     "EstimateWithError",
     "ForwardDecaySketch",
     "GeneralizedSpaceSaving",
     "ParallelSketchExecutor",
+    "QueryResult",
     "ShardedSketch",
     "SignedUnbiasedSpaceSaving",
+    "StreamSession",
     "UnbiasedSpaceSaving",
+    "available_specs",
+    "build",
+    "capabilities",
     "collapse_batch",
     "load_bytes",
     "load_checkpoint",
@@ -68,5 +85,6 @@ __all__ = [
     "save_checkpoint",
     "SketchQueryEngine",
     "SubsetSumEstimator",
+    "supports",
     "__version__",
 ]

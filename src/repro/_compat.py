@@ -1,0 +1,36 @@
+"""Deprecation helpers for the one-release API migration window.
+
+The :mod:`repro.api` redesign (unified estimator protocol + ``repro.build``
+facade) supersedes a handful of per-class entry points.  The old names keep
+working for one release as thin shims that emit a :class:`DeprecationWarning`
+through :func:`warn_deprecated`; the CI ``deprecations`` job runs the
+new-API test subset with ``-W error::DeprecationWarning`` to guarantee the
+new surface never routes through a shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a shimmed API.
+
+    Parameters
+    ----------
+    old:
+        The deprecated call, e.g. ``"CountSketch.estimates_for()"``.
+    replacement:
+        The new call sites should use, e.g. ``"estimates(candidates=...)"``.
+    stacklevel:
+        Passed to :func:`warnings.warn`; the default points at the caller
+        of the deprecated method.
+    """
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -1,0 +1,143 @@
+"""``repro.build`` — one constructor for every sketch, on any backend.
+
+The factory turns a spec name plus a handful of normalized arguments into
+a ready :class:`~repro.api.session.StreamSession`:
+
+* ``backend="inline"`` (default) — the spec's class, constructed directly.
+* ``backend="sharded"`` — a hash-partitioned in-process
+  :class:`~repro.distributed.sharded.ShardedSketch` ensemble.
+* ``backend="parallel"`` — a multiprocess
+  :class:`~repro.distributed.parallel.ParallelSketchExecutor`.
+
+Seeding is normalized across backends exactly as the executors define it
+(shard ``i`` receives ``seed + i``), so a session built here is equal,
+estimate for estimate, to the hand-constructed executor it replaces.
+
+>>> session = build("unbiased_space_saving", size=8, seed=42)
+>>> _ = session.update_batch(["ad1", "ad2", "ad1", "ad3"])
+>>> session.subset_sum(lambda ad: ad in {"ad1", "ad3"}).estimate
+3.0
+>>> sharded = build("unbiased_space_saving", size=8, backend="sharded",
+...                 num_shards=4, seed=42)
+>>> _ = sharded.update_batch(["ad1", "ad2", "ad1", "ad3"])
+>>> sharded.estimate("ad1").estimate
+2.0
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.session import StreamSession
+from repro.api.specs import get_spec
+from repro.errors import CapabilityError, InvalidParameterError
+
+__all__ = ["build", "BACKENDS"]
+
+#: The execution backends :func:`build` understands.
+BACKENDS = ("inline", "sharded", "parallel")
+
+#: Default shard count for the scale-out backends when none is given.
+DEFAULT_NUM_SHARDS = 4
+
+
+def build(
+    spec: str,
+    *,
+    size: int,
+    backend: str = "inline",
+    seed: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    merge_method: str = "pps",
+    **params,
+) -> StreamSession:
+    """Build a :class:`StreamSession` for a registered sketch spec.
+
+    Parameters
+    ----------
+    spec:
+        A spec name from :func:`repro.api.available_specs`, e.g.
+        ``"unbiased_space_saving"`` or ``"misra_gries"``.
+    size:
+        The spec's primary size parameter: bin capacity for the Space
+        Saving family and samplers, row width for CountMin / Count Sketch.
+    backend:
+        ``"inline"``, ``"sharded"`` or ``"parallel"``; scale-out backends
+        are only available for specs that declare them (currently
+        ``unbiased_space_saving``) and raise
+        :class:`~repro.errors.CapabilityError` otherwise.
+    seed:
+        Base seed.  Inline sessions pass it straight to the sketch;
+        scale-out sessions seed shard ``i`` with ``seed + i``, matching
+        the executors' own convention.
+    num_shards:
+        Shard count for the scale-out backends (default 4); rejected for
+        ``backend="inline"``.
+    num_workers, mp_context:
+        Pool size / multiprocessing start method for ``backend="parallel"``
+        (see :class:`~repro.distributed.parallel.ParallelSketchExecutor`);
+        rejected for the other backends.
+    merge_method:
+        Reduction used by ``session.merged()`` on scale-out backends.
+    params:
+        Spec-specific extras (e.g. ``store=`` for the Space Saving family,
+        ``depth=`` for the hashed sketches); unknown names raise
+        :class:`~repro.errors.InvalidParameterError`.
+    """
+    sketch_spec = get_spec(spec)
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend != "parallel" and (num_workers is not None or mp_context is not None):
+        raise InvalidParameterError(
+            "num_workers/mp_context apply to backend='parallel' only"
+        )
+
+    if backend == "inline":
+        if num_shards is not None:
+            raise InvalidParameterError(
+                "num_shards applies to the sharded/parallel backends only"
+            )
+        remaining = dict(params)
+        estimator = sketch_spec.build_estimator(size, seed, remaining)
+        if remaining:
+            raise InvalidParameterError(
+                f"unknown parameters for spec {spec!r}: {sorted(remaining)}; "
+                f"accepted extras: {sorted(sketch_spec.extra_params)}"
+            )
+        return StreamSession(estimator, spec_name=spec, backend="inline")
+
+    if backend not in sketch_spec.backends:
+        raise CapabilityError(
+            f"spec {spec!r} does not support backend {backend!r} "
+            f"(supported: {sketch_spec.backends}); scale-out execution "
+            "requires a mergeable unbiased sketch"
+        )
+    if params:
+        raise InvalidParameterError(
+            f"spec parameters {sorted(params)} are not configurable on "
+            f"backend {backend!r}; build inline or configure the executor directly"
+        )
+    shards = DEFAULT_NUM_SHARDS if num_shards is None else int(num_shards)
+
+    if backend == "sharded":
+        from repro.distributed.sharded import ShardedSketch
+
+        estimator = ShardedSketch(
+            int(size), shards, seed=seed, merge_method=merge_method
+        )
+    else:
+        from repro.distributed.parallel import ParallelSketchExecutor
+
+        estimator = ParallelSketchExecutor(
+            int(size),
+            shards,
+            seed=seed,
+            merge_method=merge_method,
+            num_workers=num_workers,
+            mp_context=mp_context,
+        )
+    return StreamSession(estimator, spec_name=spec, backend=backend)

@@ -24,9 +24,11 @@ import itertools
 import random
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
-from repro.core.batching import collapse_batch
+from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.core.stream_summary import StreamSummary
+from repro.core.variance import EstimateWithError
 from repro.errors import (
     EmptySketchError,
     InvalidParameterError,
@@ -305,21 +307,27 @@ class FrequentItemSketch(abc.ABC):
     def update(self, item: Item, weight: float = 1.0) -> None:
         """Process one raw row for ``item`` with the given ``weight``."""
 
-    def update_stream(
+    def extend(
         self, rows: Iterable[Union[Item, Tuple[Item, float]]]
     ) -> "FrequentItemSketch":
         """Consume an iterable of rows.
 
-        Each row may be a bare item (weight 1) or an ``(item, weight)`` pair.
-        Returns ``self`` to allow fluent construction.
+        Each row may be a bare item (weight 1) or an ``(item, weight)`` pair
+        (see :func:`repro.core.batching.iter_weighted_rows` for the pair
+        heuristic).  Returns ``self`` to allow fluent construction.  This is
+        the one ingestion spelling shared by sketches, ensembles and
+        :class:`repro.api.StreamSession`.
         """
-        for row in rows:
-            if isinstance(row, tuple) and len(row) == 2 and not self._tuple_is_item(row):
-                item, weight = row
-                self.update(item, float(weight))
-            else:
-                self.update(row)
+        for item, weight in iter_weighted_rows(rows):
+            self.update(item, weight)
         return self
+
+    def update_stream(
+        self, rows: Iterable[Union[Item, Tuple[Item, float]]]
+    ) -> "FrequentItemSketch":
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated(f"{type(self).__name__}.update_stream()", "extend()")
+        return self.extend(rows)
 
     def update_batch(
         self,
@@ -367,19 +375,6 @@ class FrequentItemSketch(abc.ABC):
         self._rows_processed += row_count - len(unique)
         return self
 
-    def _tuple_is_item(self, row: Tuple) -> bool:
-        """Heuristic used by :meth:`update_stream` for tuple-keyed streams.
-
-        Streams of composite keys (e.g. ``(user, ad)``) legitimately contain
-        tuples that are *items*, not ``(item, weight)`` pairs.  A pair is
-        treated as weighted only when its second element is a real number
-        and its first element is not.
-        """
-        first, second = row
-        return not (
-            isinstance(second, (int, float)) and not isinstance(first, (int, float))
-        )
-
     def _record_update(self, weight: float) -> None:
         """Book-keeping shared by all ``update`` implementations."""
         self._rows_processed += 1
@@ -399,6 +394,13 @@ class FrequentItemSketch(abc.ABC):
 
     def __len__(self) -> int:
         return len(self.estimates())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"bins={len(self)}, rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
 
     def top_k(self, k: int) -> List[Tuple[Item, float]]:
         """Return the ``k`` items with the largest estimated counts."""
@@ -448,6 +450,19 @@ class SubsetSumSketch(FrequentItemSketch):
         return float(
             sum(count for item, count in self.estimates().items() if predicate(item))
         )
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum bundled with a variance estimate.
+
+        The base implementation reports zero variance — the honest answer
+        for estimators without a derived error model — so that *every*
+        subset-sum sketch satisfies the
+        :class:`repro.api.SubsetSumEstimator` protocol uniformly.
+        Subclasses with a real model (Unbiased Space Saving's equation-5
+        estimator, the sample-and-hold family's Bernoulli model) override
+        this with their own variance.
+        """
+        return EstimateWithError(estimate=self.subset_sum(predicate), variance=0.0)
 
     def subset_count(self, predicate: ItemPredicate) -> int:
         """Number of retained items matching ``predicate`` (the ``C_S`` of §6.4)."""

@@ -37,7 +37,7 @@ import numpy as np
 from repro._typing import Item
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
-__all__ = ["CollapsedBatch", "collapse_batch", "unit_rows"]
+__all__ = ["CollapsedBatch", "collapse_batch", "unit_rows", "iter_weighted_rows"]
 
 #: ``(unique_items, collapsed_weights, row_count, total_weight)`` — the
 #: result of :func:`collapse_batch`.  ``unique_items`` preserves first
@@ -175,3 +175,25 @@ def unit_rows(
                     f"{sketch_name} supports unit-weight rows only"
                 )
     return rows
+
+
+def iter_weighted_rows(rows: Iterable) -> "Iterable[Tuple[Item, float]]":
+    """Yield ``(item, weight)`` pairs from a mixed row iterable.
+
+    A row may be a bare item (weight 1) or an ``(item, weight)`` pair.
+    Streams of composite keys (e.g. ``(user, ad)``) legitimately contain
+    tuples that are *items*, not pairs: a 2-tuple is treated as weighted
+    only when its second element is a real number and its first element is
+    not.  This is the single row heuristic behind ``extend()`` on sketches,
+    ensembles and :class:`repro.api.StreamSession`.
+    """
+    for row in rows:
+        if (
+            isinstance(row, tuple)
+            and len(row) == 2
+            and isinstance(row[1], (int, float))
+            and not isinstance(row[0], (int, float))
+        ):
+            yield row[0], float(row[1])
+        else:
+            yield row, 1.0

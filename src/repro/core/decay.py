@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Tuple
 
+from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.core.variance import EstimateWithError
@@ -131,7 +132,7 @@ class ForwardDecaySketch:
         self._sketch.update(item, decayed_weight)
         self._latest_timestamp = max(self._latest_timestamp, timestamp)
 
-    def update_stream(self, rows) -> "ForwardDecaySketch":
+    def extend(self, rows) -> "ForwardDecaySketch":
         """Consume an iterable of ``(item, timestamp)`` or ``(item, timestamp, weight)``."""
         for row in rows:
             if len(row) == 2:
@@ -141,6 +142,11 @@ class ForwardDecaySketch:
                 item, timestamp, weight = row
                 self.update(item, timestamp, weight)
         return self
+
+    def update_stream(self, rows) -> "ForwardDecaySketch":
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated("ForwardDecaySketch.update_stream()", "extend()")
+        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Queries

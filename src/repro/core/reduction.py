@@ -166,7 +166,7 @@ class GeneralizedSpaceSaving(SubsetSumSketch):
     Example
     -------
     >>> sketch = GeneralizedSpaceSaving(capacity=2, policy=UnbiasedPairReduction(), seed=3)
-    >>> _ = sketch.update_stream(["x", "y", "z", "x"])
+    >>> _ = sketch.extend(["x", "y", "z", "x"])
     >>> len(sketch) <= 2
     True
     """

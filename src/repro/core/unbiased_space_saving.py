@@ -68,7 +68,7 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
     Example
     -------
     >>> sketch = UnbiasedSpaceSaving(capacity=3, seed=7)
-    >>> _ = sketch.update_stream(["ad1", "ad1", "ad2", "ad3", "ad1"])
+    >>> _ = sketch.extend(["ad1", "ad1", "ad2", "ad3", "ad1"])
     >>> sketch.rows_processed
     5
     >>> round(sum(sketch.estimates().values()), 6)
@@ -306,6 +306,36 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
         This is one advantage over priority sampling noted in §7.
         """
         return float(sum(count for _, count in self._store.items()))
+
+    # ------------------------------------------------------------------
+    # Merging (Theorem 2 / §5.5)
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        other: "UnbiasedSpaceSaving",
+        *,
+        capacity: Optional[int] = None,
+        method: str = "pps",
+        seed: Optional[int] = None,
+    ) -> "UnbiasedSpaceSaving":
+        """Merge with another unbiased sketch into a new unbiased sketch.
+
+        Method form of :func:`repro.core.merge.merge_unbiased`, provided so
+        the sketch satisfies the :class:`repro.api.Mergeable` protocol.
+        Neither input is mutated; the merged sketch remains unbiased for
+        all subset sums over the combined data (Theorem 2).
+        """
+        from repro.core.merge import merge_unbiased
+
+        return merge_unbiased(self, other, capacity=capacity, method=method, seed=seed)
+
+    def __repr__(self) -> str:
+        store = "heap" if isinstance(self._store, HeapBinStore) else "stream_summary"
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, store={store!r}, "
+            f"bins={len(self._store)}, rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
 
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)

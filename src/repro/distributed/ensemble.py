@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro._typing import Item, ItemPredicate
+from repro.core.batching import iter_weighted_rows
 from repro.core.merge import merge_many_unbiased
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.core.variance import EstimateWithError
@@ -39,6 +40,18 @@ class DisjointUnionQueries:
     def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
         """The shard sketch that owns ``item`` (for point lookups)."""
         raise NotImplementedError
+
+    # -- ingestion convenience ---------------------------------------------
+    def extend(self, rows) -> "DisjointUnionQueries":
+        """Consume an iterable of rows (bare items or ``(item, weight)`` pairs).
+
+        The ensemble counterpart of ``FrequentItemSketch.extend``, so
+        executors expose the same one-surface ingestion spelling as the
+        inline sketches (hosts provide ``update``).
+        """
+        for item, weight in iter_weighted_rows(rows):
+            self.update(item, weight)  # type: ignore[attr-defined]
+        return self
 
     # -- point and union queries ------------------------------------------
     def estimate(self, item: Item) -> float:

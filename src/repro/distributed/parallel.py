@@ -303,6 +303,14 @@ class ParallelSketchExecutor(DisjointUnionQueries, SerializableSketch):
     def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
         return self._shard(self.shard_index(item))
 
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"num_shards={self._num_shards}, num_workers={self._num_workers}, "
+            f"rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
+
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)
     # ------------------------------------------------------------------

@@ -204,6 +204,13 @@ class ShardedSketch(DisjointUnionQueries, SerializableSketch):
     def _owning_shard(self, item: Item) -> UnbiasedSpaceSaving:
         return self.shard_for(item)
 
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"num_shards={self._num_shards}, rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
+
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)
     # ------------------------------------------------------------------

@@ -35,6 +35,19 @@ class UnsupportedUpdateError(ReproError, TypeError):
     """An update (e.g. negative weight) is not supported by this sketch."""
 
 
+class CapabilityError(InvalidParameterError):
+    """An estimator does not provide the capability an operation requires.
+
+    Raised by the :mod:`repro.api` protocol layer and by capability-typed
+    entry points when a query (enumerating estimates, reporting heavy
+    hitters, attaching an error model, running on a scale-out backend)
+    is issued against an object that cannot answer it — e.g. asking a
+    CountMin sketch built without heavy-hitter tracking to enumerate
+    items.  Subclasses :class:`InvalidParameterError` so existing callers
+    that catch the broader class keep working.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch payload could not be encoded or decoded.
 

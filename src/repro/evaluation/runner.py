@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._typing import Item
+from repro.api.build import build
 from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.errors import InvalidParameterError
@@ -78,14 +79,20 @@ def build_unbiased_sketch(
     seed: int,
     stream: Optional[Sequence[Item]] = None,
 ) -> UnbiasedSpaceSaving:
-    """Build an Unbiased Space Saving sketch over one (re)shuffled stream."""
+    """Build an Unbiased Space Saving sketch over one (re)shuffled stream.
+
+    Routed through the :func:`repro.build` facade (inline backend), which
+    constructs exactly ``UnbiasedSpaceSaving(capacity, seed=seed)`` and
+    streams the rows through one ``update`` per row — bit-identical to the
+    direct loop it replaces.
+    """
     rows = stream if stream is not None else exchangeable_stream(
         model, rng=np.random.default_rng(seed)
     )
-    sketch = UnbiasedSpaceSaving(capacity, seed=seed)
+    session = build("unbiased_space_saving", size=capacity, seed=seed)
     for row in iterate_rows(rows):
-        sketch.update(row)
-    return sketch
+        session.update(row)
+    return session.estimator
 
 
 def build_deterministic_sketch(
@@ -99,10 +106,10 @@ def build_deterministic_sketch(
     rows = stream if stream is not None else exchangeable_stream(
         model, rng=np.random.default_rng(seed)
     )
-    sketch = DeterministicSpaceSaving(capacity, seed=seed)
+    session = build("deterministic_space_saving", size=capacity, seed=seed)
     for row in iterate_rows(rows):
-        sketch.update(row)
-    return sketch
+        session.update(row)
+    return session.estimator
 
 
 def build_bottom_k(
@@ -116,10 +123,10 @@ def build_bottom_k(
     rows = stream if stream is not None else exchangeable_stream(
         model, rng=np.random.default_rng(seed)
     )
-    sketch = BottomKSketch(capacity, seed=seed)
+    session = build("bottom_k", size=capacity, seed=seed)
     for row in iterate_rows(rows):
-        sketch.update(row)
-    return sketch
+        session.update(row)
+    return session.estimator
 
 
 def draw_priority_sample(

@@ -16,15 +16,18 @@ estimation, and inner products between two identically configured sketches.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import math
 import struct
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro._compat import warn_deprecated
 from repro._typing import Item
-from repro.core.batching import collapse_batch
-from repro.errors import InvalidParameterError
+from repro.core.batching import collapse_batch, iter_weighted_rows
+from repro.errors import CapabilityError, InvalidParameterError
+from repro.io.codec import decode_item, encode_item
 from repro.io.serializable import SerializableSketch
 
 __all__ = ["CountSketch"]
@@ -51,6 +54,11 @@ class CountSketch(SerializableSketch):
         Number of independent rows; the median over rows boosts confidence.
     seed:
         Seed for the bucket and sign hash functions.
+    track_keys:
+        When a positive integer ``k``, maintain the current top-``k``
+        estimated items in an auxiliary heap so :meth:`estimates` and
+        :meth:`heavy_hitters` can enumerate without an external candidate
+        set (Count Sketch alone cannot enumerate the item universe).
 
     Example
     -------
@@ -61,15 +69,28 @@ class CountSketch(SerializableSketch):
     True
     """
 
-    def __init__(self, width: int = 256, depth: int = 5, *, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        width: int = 256,
+        depth: int = 5,
+        *,
+        seed: Optional[int] = None,
+        track_keys: int = 0,
+    ) -> None:
         if width < 1 or depth < 1:
             raise InvalidParameterError("width and depth must be positive")
+        if track_keys < 0:
+            raise InvalidParameterError("track_keys must be non-negative")
         self._width = width
         self._depth = depth
         self._seed = seed if seed is not None else 0
         self._table = np.zeros((depth, width), dtype=np.float64)
         self._total_weight = 0.0
         self._rows_processed = 0
+        self._track_k = int(track_keys)
+        # Heap of (estimate, tie-break, item); estimates refresh lazily.
+        self._tracked_heap: List[Tuple[float, str, Item]] = []
+        self._tracked: Dict[Item, float] = {}
 
     @property
     def width(self) -> int:
@@ -91,6 +112,11 @@ class CountSketch(SerializableSketch):
         """Net ingested weight (signed)."""
         return self._total_weight
 
+    @property
+    def track_keys(self) -> int:
+        """Size of the tracked-key view (0 when tracking is disabled)."""
+        return self._track_k
+
     def _bucket(self, item: Item, row: int) -> int:
         return _hash64(item, self._seed * 2000003 + row) % self._width
 
@@ -104,8 +130,26 @@ class CountSketch(SerializableSketch):
         """Add a signed ``weight`` for ``item`` (deletions allowed)."""
         self._rows_processed += 1
         self._total_weight += weight
+        if not self._track_k:
+            for row in range(self._depth):
+                self._table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+            return
+        self._track(item, self._apply_tracked(item, weight))
+
+    def _apply_tracked(self, item: Item, weight: float) -> float:
+        """Write one signed update and return the fresh estimate.
+
+        Reuses the bucket/sign hashes of the write for the read, so
+        tracking does not double the per-update hash work.
+        """
+        row_values = []
+        table = self._table
         for row in range(self._depth):
-            self._table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+            bucket = self._bucket(item, row)
+            sign = self._sign(item, row)
+            table[row, bucket] += sign * weight
+            row_values.append(sign * table[row, bucket])
+        return float(np.median(row_values))
 
     def update_batch(self, items, weights=None) -> "CountSketch":
         """Batched ingestion: one signed table update per distinct item.
@@ -119,24 +163,52 @@ class CountSketch(SerializableSketch):
         self._rows_processed += row_count
         self._total_weight += total
         table = self._table
-        for item, weight in zip(unique, collapsed):
-            for row in range(self._depth):
-                table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+        if self._track_k:
+            for item, weight in zip(unique, collapsed):
+                self._track(item, self._apply_tracked(item, weight))
+        else:
+            for item, weight in zip(unique, collapsed):
+                for row in range(self._depth):
+                    table[row, self._bucket(item, row)] += self._sign(item, row) * weight
+        return self
+
+    def extend(self, rows: Iterable) -> "CountSketch":
+        """Consume an iterable of items (or ``(item, weight)`` pairs)."""
+        for item, weight in iter_weighted_rows(rows):
+            self.update(item, weight)
         return self
 
     def update_stream(self, rows) -> "CountSketch":
-        """Consume an iterable of items (or ``(item, weight)`` pairs)."""
-        for row in rows:
-            if (
-                isinstance(row, tuple)
-                and len(row) == 2
-                and isinstance(row[1], (int, float))
-                and not isinstance(row[0], (int, float))
-            ):
-                self.update(row[0], float(row[1]))
-            else:
-                self.update(row)
-        return self
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated("CountSketch.update_stream()", "extend()")
+        return self.extend(rows)
+
+    def _track(self, item: Item, estimate: float) -> None:
+        """Maintain the tracked top-k heap after an update touching ``item``."""
+        if item in self._tracked:
+            self._tracked[item] = estimate
+            return
+        if len(self._tracked) < self._track_k:
+            self._tracked[item] = estimate
+            heapq.heappush(self._tracked_heap, (estimate, str(item), item))
+            return
+        # Refresh the root before comparing: its stored estimate may be stale.
+        while self._tracked_heap:
+            root_estimate, _, root_item = self._tracked_heap[0]
+            if root_item not in self._tracked:
+                heapq.heappop(self._tracked_heap)
+                continue
+            fresh = self._tracked[root_item]
+            if fresh > root_estimate:
+                heapq.heapreplace(self._tracked_heap, (fresh, str(root_item), root_item))
+                continue
+            break
+        if self._tracked_heap and estimate > self._tracked_heap[0][0]:
+            _, __, evicted = heapq.heapreplace(
+                self._tracked_heap, (estimate, str(item), item)
+            )
+            self._tracked.pop(evicted, None)
+            self._tracked[item] = estimate
 
     # ------------------------------------------------------------------
     # Queries
@@ -180,13 +252,85 @@ class CountSketch(SerializableSketch):
         """Typical point-estimate standard error ``sqrt(F2 / width)``."""
         return math.sqrt(max(0.0, self.second_moment()) / self._width)
 
-    def estimates_for(self, items) -> Dict[Item, float]:
-        """Point estimates for an explicit collection of candidate items.
+    def estimates(self, candidates: Optional[Iterable[Item]] = None) -> Dict[Item, float]:
+        """Point estimates, either for the tracked-key view or for candidates.
 
-        Count Sketch cannot enumerate items on its own; callers supply the
-        candidate set (e.g. from a Space Saving sketch run alongside it).
+        Count Sketch cannot enumerate the item universe, so an
+        enumeration-style ``estimates()`` needs one of two sources:
+
+        * an explicit ``candidates`` collection (e.g. the retained set of a
+          Space Saving sketch run alongside) — always available;
+        * the tracked-key view maintained when the sketch was built with
+          ``track_keys > 0`` — the default when ``candidates`` is omitted.
+
+        Raises
+        ------
+        CapabilityError
+            If ``candidates`` is omitted and key tracking is disabled.
         """
-        return {item: self.estimate(item) for item in items}
+        if candidates is not None:
+            return {item: self.estimate(item) for item in candidates}
+        if not self._track_k:
+            raise CapabilityError(
+                "CountSketch cannot enumerate items without a tracked-key "
+                "view; construct with track_keys > 0 or pass candidates=..."
+            )
+        return {item: self.estimate(item) for item in self._tracked}
+
+    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Tracked items with estimated relative frequency at least ``phi``.
+
+        Follows the :class:`~repro.core.base.FrequentItemSketch` contract
+        (``phi`` in ``(0, 1]``, threshold ``phi * total_weight``, only
+        positive estimates reported) over the tracked-key view; requires
+        ``track_keys > 0`` at construction.
+        """
+        if not self._track_k:
+            raise CapabilityError(
+                "heavy_hitters requires track_keys > 0 at construction"
+            )
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: estimate
+            for item, estimate in self.estimates().items()
+            if estimate >= threshold and estimate > 0
+        }
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """The ``k`` largest estimates in the tracked-key view."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def estimates_for(self, items) -> Dict[Item, float]:
+        """Deprecated alias of ``estimates(candidates=items)`` (one release)."""
+        warn_deprecated(
+            "CountSketch.estimates_for()", "CountSketch.estimates(candidates=...)"
+        )
+        return self.estimates(candidates=items)
+
+    def __capabilities__(self) -> set:
+        """Refine the structural capabilities by configuration.
+
+        Without a tracked-key view the sketch cannot enumerate items, so
+        the ``point`` and ``heavy_hitters`` capabilities are withheld even
+        though the methods exist (they raise
+        :class:`~repro.errors.CapabilityError`).
+        """
+        caps = {"serialize"}
+        if self._track_k:
+            caps |= {"point", "heavy_hitters"}
+        return caps
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(width={self._width}, depth={self._depth}, "
+            f"track_keys={self._track_k}, rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
 
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)
@@ -198,15 +342,32 @@ class CountSketch(SerializableSketch):
             "seed": self._seed,
             "rows_processed": self._rows_processed,
             "total_weight": self._total_weight,
+            "track_keys": self._track_k,
+            "tracked_labels": [encode_item(item) for item in self._tracked],
         }
         return meta, {"table": self._table}
 
     @classmethod
     def _from_serial_state(cls, meta, arrays):
         sketch = cls(
-            width=int(meta["width"]), depth=int(meta["depth"]), seed=int(meta["seed"])
+            width=int(meta["width"]),
+            depth=int(meta["depth"]),
+            seed=int(meta["seed"]),
+            # Older frames predate the tracked-key view; .get keeps them loadable.
+            track_keys=int(meta.get("track_keys", 0)),
         )
         sketch._table = np.asarray(arrays["table"], dtype=np.float64)
         sketch._rows_processed = int(meta["rows_processed"])
         sketch._total_weight = float(meta["total_weight"])
+        # Tracked estimates are recomputed from the restored table (the
+        # source of truth); the lazy heap is rebuilt from the members map.
+        sketch._tracked = {
+            decode_item(label): 0.0 for label in meta.get("tracked_labels", [])
+        }
+        for item in sketch._tracked:
+            sketch._tracked[item] = sketch.estimate(item)
+        sketch._tracked_heap = [
+            (estimate, str(item), item) for item, estimate in sketch._tracked.items()
+        ]
+        heapq.heapify(sketch._tracked_heap)
         return sketch

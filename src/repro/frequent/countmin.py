@@ -20,13 +20,14 @@ import hashlib
 import heapq
 import math
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro._compat import warn_deprecated
 from repro._typing import Item
-from repro.core.batching import collapse_batch
-from repro.errors import InvalidParameterError, UnsupportedUpdateError
+from repro.core.batching import collapse_batch, iter_weighted_rows
+from repro.errors import CapabilityError, InvalidParameterError, UnsupportedUpdateError
 from repro.io.codec import decode_item, encode_item
 from repro.io.serializable import SerializableSketch
 
@@ -220,19 +221,16 @@ class CountMinSketch(SerializableSketch):
             )
         return self
 
-    def update_stream(self, rows) -> "CountMinSketch":
+    def extend(self, rows) -> "CountMinSketch":
         """Consume an iterable of items (or ``(item, weight)`` pairs)."""
-        for row in rows:
-            if (
-                isinstance(row, tuple)
-                and len(row) == 2
-                and isinstance(row[1], (int, float))
-                and not isinstance(row[0], (int, float))
-            ):
-                self.update(row[0], float(row[1]))
-            else:
-                self.update(row)
+        for item, weight in iter_weighted_rows(rows):
+            self.update(item, weight)
         return self
+
+    def update_stream(self, rows) -> "CountMinSketch":
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated("CountMinSketch.update_stream()", "extend()")
+        return self.extend(rows)
 
     def _track(self, item: Item) -> None:
         """Maintain the top-k heap after an update touching ``item``."""
@@ -272,24 +270,70 @@ class CountMinSketch(SerializableSketch):
             min(self._table[row, position] for row, position in enumerate(positions))
         )
 
+    def estimates(self, candidates: Optional[Iterable[Item]] = None) -> Dict[Item, float]:
+        """Point estimates for the tracked view or an explicit candidate set.
+
+        CountMin cannot enumerate the item universe, so enumeration needs
+        either the ``track_heavy_hitters`` top-k view (the default) or an
+        explicit ``candidates`` collection.
+
+        Raises
+        ------
+        CapabilityError
+            If ``candidates`` is omitted and tracking is disabled.
+        """
+        if candidates is not None:
+            return {item: self.estimate(item) for item in candidates}
+        if not self._heavy_k:
+            raise CapabilityError(
+                "CountMinSketch cannot enumerate items without tracking; "
+                "construct with track_heavy_hitters > 0 or pass candidates=..."
+            )
+        return {item: self.estimate(item) for item in self._heavy_members}
+
     def heavy_hitters(self, phi: float) -> Dict[Item, float]:
         """Tracked items whose estimate is at least ``phi · total_weight``.
 
-        Requires ``track_heavy_hitters`` to have been enabled; CountMin by
-        itself cannot enumerate the item universe.
+        Follows the :class:`~repro.core.base.FrequentItemSketch` contract
+        (``phi`` in ``(0, 1]``, threshold ``phi * total_weight``, only
+        positive estimates reported) over the tracked top-k view.  Requires
+        ``track_heavy_hitters`` to have been enabled; CountMin by itself
+        cannot enumerate the item universe.
         """
         if not self._heavy_k:
-            raise InvalidParameterError(
+            raise CapabilityError(
                 "heavy_hitters requires track_heavy_hitters > 0 at construction"
             )
         if not 0 < phi <= 1:
             raise InvalidParameterError("phi must lie in (0, 1]")
         threshold = phi * self._total_weight
         return {
-            item: self.estimate(item)
-            for item in self._heavy_members
-            if self.estimate(item) >= threshold
+            item: estimate
+            for item, estimate in self.estimates().items()
+            if estimate >= threshold and estimate > 0
         }
+
+    def top_k(self, k: int) -> List[Tuple[Item, float]]:
+        """The ``k`` largest estimates in the tracked view."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def __capabilities__(self) -> set:
+        """Withhold enumeration capabilities when tracking is disabled."""
+        caps = {"serialize"}
+        if self._heavy_k:
+            caps |= {"point", "heavy_hitters"}
+        return caps
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(width={self._width}, depth={self._depth}, "
+            f"conservative={self._conservative}, track_heavy_hitters={self._heavy_k}, "
+            f"rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
 
     def inner_product(self, other: "CountMinSketch") -> float:
         """Upper-bound estimate of the inner product of two frequency vectors.

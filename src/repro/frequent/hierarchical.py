@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import warn_deprecated
 from repro._typing import Item
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.errors import InvalidParameterError
@@ -104,7 +105,7 @@ class HierarchicalHeavyHitters:
         for level, sketch in enumerate(self._sketches):
             sketch.update(path[: level + 1], weight)
 
-    def update_stream(self, rows) -> "HierarchicalHeavyHitters":
+    def extend(self, rows) -> "HierarchicalHeavyHitters":
         """Consume an iterable of paths (or ``(path, weight)`` pairs)."""
         for row in rows:
             if (
@@ -117,6 +118,11 @@ class HierarchicalHeavyHitters:
             else:
                 self.update(row)
         return self
+
+    def update_stream(self, rows) -> "HierarchicalHeavyHitters":
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated("HierarchicalHeavyHitters.update_stream()", "extend()")
+        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Queries

@@ -48,7 +48,7 @@ class LossyCountingSketch(FrequentItemSketch, SerializableSketch):
     Example
     -------
     >>> sketch = LossyCountingSketch(epsilon=0.25)
-    >>> _ = sketch.update_stream(["a"] * 10 + ["b"] * 2)
+    >>> _ = sketch.extend(["a"] * 10 + ["b"] * 2)
     >>> sketch.estimate("a") > 0
     True
     """

@@ -46,7 +46,7 @@ class MisraGriesSketch(FrequentItemSketch, SerializableSketch):
     Example
     -------
     >>> sketch = MisraGriesSketch(capacity=2)
-    >>> _ = sketch.update_stream(["a", "b", "a", "c", "a"])
+    >>> _ = sketch.extend(["a", "b", "a", "c", "a"])
     >>> sketch.estimate("a") >= 1
     True
     """

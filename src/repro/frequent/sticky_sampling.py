@@ -51,7 +51,7 @@ class StickySamplingSketch(FrequentItemSketch, SerializableSketch):
     Example
     -------
     >>> sketch = StickySamplingSketch(epsilon=0.1, delta=0.01, seed=5)
-    >>> _ = sketch.update_stream(["x"] * 50 + ["y"] * 3)
+    >>> _ = sketch.extend(["x"] * 50 + ["y"] * 3)
     >>> sketch.estimate("x") > 0
     True
     """

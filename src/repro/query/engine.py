@@ -80,10 +80,16 @@ class QueryResult:
 
 
 class SketchQueryEngine:
-    """SELECT-sum/WHERE/GROUP-BY interface over any sketch or sample."""
+    """SELECT-sum/WHERE/GROUP-BY interface over any sketch, sample or session.
 
-    def __init__(self, source) -> None:
-        self._estimator = SubsetSumEstimator(source)
+    Accepts anything :class:`~repro.query.subset_sum.SubsetSumEstimator`
+    accepts: a mapping, an estimator with the ``point`` capability, a
+    :class:`repro.api.StreamSession` (whichever backend it routes to), or
+    an enumeration-limited sketch paired with ``candidates``.
+    """
+
+    def __init__(self, source, *, candidates=None) -> None:
+        self._estimator = SubsetSumEstimator(source, candidates=candidates)
 
     def select_sum(
         self,

@@ -3,33 +3,49 @@
 The evaluation harness compares several very different estimators — the
 Unbiased Space Saving sketch, priority samples, bottom-k samples, sample-and-
 hold sketches, even the biased Deterministic Space Saving — on the same
-queries.  :class:`SubsetSumEstimator` adapts anything that exposes
-``estimates()`` (an ``item -> estimate`` mapping) to a uniform query
+queries.  :class:`SubsetSumEstimator` adapts anything with the
+:class:`repro.api.PointEstimator` capability (an ``estimates()`` mapping),
+a :class:`repro.api.StreamSession`, or a plain mapping to a uniform query
 interface, using the richer ``subset_sum_with_error`` when the underlying
-object provides one, and :class:`ExactAggregator` provides the ground truth
-from raw counts for error measurement.
+object provides one.  Enumeration-limited sketches (CountMin / Count Sketch
+without tracking) are supported through an explicit ``candidates``
+collection; anything else raises :class:`~repro.errors.CapabilityError`.
+:class:`ExactAggregator` provides the ground truth from raw counts for
+error measurement.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Iterable, Mapping, Optional
 
 from repro._typing import Item, ItemPredicate
 from repro.core.variance import EstimateWithError
-from repro.errors import InvalidParameterError
+from repro.errors import CapabilityError
 
 __all__ = ["SubsetSumEstimator", "ExactAggregator"]
 
 
 class SubsetSumEstimator:
-    """Uniform subset-sum interface over any sketch or sample.
+    """Uniform subset-sum interface over any sketch, sample or session.
 
     Parameters
     ----------
     source:
         Any object with an ``estimates() -> Mapping[item, float]`` method
-        (all sketches and samples in this package qualify), or a plain
-        mapping of estimates.
+        (all sketches, samples and stream sessions in this package
+        qualify), or a plain mapping of estimates, or — together with
+        ``candidates`` — any point estimator (``estimate(item)`` or the
+        legacy ``estimates_for(items)``).
+    candidates:
+        Optional explicit item collection for sources that cannot
+        enumerate what they have seen (e.g. a CountMin sketch built
+        without tracking); queries evaluate over exactly these items.
+
+    Raises
+    ------
+    CapabilityError
+        From any query when the source can neither enumerate items nor
+        answer point queries over the given candidates.
 
     Example
     -------
@@ -38,18 +54,36 @@ class SubsetSumEstimator:
     3.0
     """
 
-    def __init__(self, source) -> None:
+    def __init__(self, source, *, candidates: Optional[Iterable[Item]] = None) -> None:
         self._source = source
+        self._candidates = None if candidates is None else list(candidates)
 
     def _estimates(self) -> Mapping[Item, float]:
-        if isinstance(self._source, Mapping):
-            return self._source
-        estimates = getattr(self._source, "estimates", None)
-        if estimates is None:
-            raise InvalidParameterError(
-                "source must be a mapping or expose an estimates() method"
-            )
-        return estimates()
+        source = self._source
+        if isinstance(source, Mapping):
+            return source
+        if self._candidates is not None:
+            point = getattr(source, "estimate", None)
+            if callable(point):
+                return {item: float(point(item)) for item in self._candidates}
+            # Sources exposing only the estimates_for(items) shape.
+            for_items = getattr(source, "estimates_for", None)
+            if callable(for_items):
+                return for_items(self._candidates)
+        estimates = getattr(source, "estimates", None)
+        if callable(estimates):
+            try:
+                return estimates()
+            except CapabilityError as error:
+                raise CapabilityError(
+                    f"{type(source).__name__} cannot enumerate its items "
+                    f"({error}); pass candidates=... to query over an "
+                    "explicit item set"
+                ) from error
+        raise CapabilityError(
+            "source must be a mapping, expose estimates(), or expose "
+            "estimate()/estimates_for() together with candidates=..."
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -64,11 +98,17 @@ class SubsetSumEstimator:
         """Subset sum with uncertainty when the source can provide it.
 
         Falls back to a zero-variance :class:`EstimateWithError` for sources
-        without their own error model (e.g. exact mappings).
+        without their own error model (exact mappings, candidate-restricted
+        views, sessions over estimators lacking the ``subset_sum``
+        capability).
         """
-        with_error = getattr(self._source, "subset_sum_with_error", None)
-        if callable(with_error):
-            return with_error(predicate)
+        if self._candidates is None:
+            with_error = getattr(self._source, "subset_sum_with_error", None)
+            if callable(with_error):
+                try:
+                    return with_error(predicate)
+                except CapabilityError:
+                    pass
         return EstimateWithError(estimate=self.subset_sum(predicate), variance=0.0)
 
     def total(self) -> float:

@@ -47,7 +47,7 @@ class AdaptiveSampleAndHold(SubsetSumSketch):
     Example
     -------
     >>> sketch = AdaptiveSampleAndHold(capacity=16, seed=2)
-    >>> _ = sketch.update_stream(["a"] * 30 + ["b"] * 5)
+    >>> _ = sketch.extend(["a"] * 30 + ["b"] * 5)
     >>> sketch.estimate("a") > 0
     True
     """

@@ -45,7 +45,7 @@ class CountingSampleSketch(SubsetSumSketch):
     Example
     -------
     >>> sketch = CountingSampleSketch(sampling_rate=1.0, seed=0)
-    >>> _ = sketch.update_stream(["a", "a", "b"])
+    >>> _ = sketch.extend(["a", "a", "b"])
     >>> sketch.estimate("a")
     2.0
     """

@@ -25,8 +25,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
-from repro.core.batching import collapse_batch
+from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.core.variance import EstimateWithError
 from repro.errors import InvalidParameterError
 from repro.io.codec import decode_item, encode_item
@@ -185,19 +186,16 @@ class BottomKSketch(SerializableSketch):
                 self._threshold_rank = min(self._threshold_rank, rank)
         return self
 
-    def update_stream(self, rows) -> "BottomKSketch":
+    def extend(self, rows) -> "BottomKSketch":
         """Consume an iterable of items (or ``(item, weight)`` pairs)."""
-        for row in rows:
-            if (
-                isinstance(row, tuple)
-                and len(row) == 2
-                and isinstance(row[1], (int, float))
-                and not isinstance(row[0], (int, float))
-            ):
-                self.update(row[0], float(row[1]))
-            else:
-                self.update(row)
+        for item, weight in iter_weighted_rows(rows):
+            self.update(item, weight)
         return self
+
+    def update_stream(self, rows) -> "BottomKSketch":
+        """Deprecated alias of :meth:`extend` (kept for one release)."""
+        warn_deprecated("BottomKSketch.update_stream()", "extend()")
+        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Estimation
@@ -235,6 +233,37 @@ class BottomKSketch(SerializableSketch):
     def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
         """Subset sum with the Bernoulli-sampling variance estimate."""
         return self.as_weighted_sample().subset_sum_with_error(predicate)
+
+    def heavy_hitters(self, phi: float) -> Dict[Item, float]:
+        """Retained items with estimated relative frequency at least ``phi``.
+
+        Same contract as :meth:`repro.core.base.FrequentItemSketch.heavy_hitters`
+        evaluated over the Horvitz-Thompson adjusted estimates; on skewed
+        data a uniform item sample misses heavy items far more often than
+        the Space Saving family (the paper's figure-4 point).
+        """
+        if not 0 < phi <= 1:
+            raise InvalidParameterError("phi must lie in (0, 1]")
+        threshold = phi * self._total_weight
+        return {
+            item: estimate
+            for item, estimate in self.estimates().items()
+            if estimate >= threshold and estimate > 0
+        }
+
+    def top_k(self, k: int) -> "list[Tuple[Item, float]]":
+        """The ``k`` retained items with the largest adjusted estimates."""
+        if k < 0:
+            raise InvalidParameterError("k must be non-negative")
+        ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        return ranked[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"retained={len(self._bins)}, rows_processed={self._rows_processed}, "
+            f"total_weight={self._total_weight:g})"
+        )
 
     def estimated_distinct_items(self) -> float:
         """KMV-style estimate of the number of distinct items in the stream."""

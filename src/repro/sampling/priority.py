@@ -183,6 +183,13 @@ class PrioritySample(SerializableSketch):
             sample.add(SampledItem(item, value, max(pi, 1e-12)))
         return sample
 
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(sample_size={self._sample_size}, "
+            f"sampled={len(self._sampled)}, threshold={self._threshold:g}, "
+            f"universe={len(self._values)})"
+        )
+
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)
     # ------------------------------------------------------------------
@@ -289,6 +296,12 @@ class StreamingPrioritySampler(SerializableSketch):
         for item, value in zip(items_list, values_list):
             self.offer(item, float(value))
         return self
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(sample_size={self._sample_size}, "
+            f"retained={len(self._heap)}, items_seen={self._items_seen})"
+        )
 
     def result(self) -> WeightedSample:
         """Finalize into a :class:`WeightedSample` of adjusted values."""

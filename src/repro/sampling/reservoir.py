@@ -20,7 +20,8 @@ from collections import Counter
 from typing import Dict, Generic, Iterable, List, Optional, TypeVar
 
 from repro._typing import Item, ItemPredicate
-from repro.errors import InvalidParameterError
+from repro.core.variance import EstimateWithError
+from repro.errors import InvalidParameterError, UnsupportedUpdateError
 from repro.io.codec import (
     decode_item,
     encode_item,
@@ -103,6 +104,19 @@ class ReservoirSampler(Generic[T], SerializableSketch):
         if position < self._capacity:
             self._reservoir[position] = row
 
+    def update(self, item: Item, weight: float = 1.0) -> None:
+        """Protocol-conformant ingestion: offer one unit-weight row.
+
+        Reservoir sampling is defined on rows, not weighted items, so only
+        ``weight == 1`` is accepted.
+        """
+        if weight != 1:
+            raise UnsupportedUpdateError(
+                "ReservoirSampler samples unit-weight rows; "
+                "weighted updates need a PPS design (see repro.sampling.varopt)"
+            )
+        self.offer(item)
+
     def extend(self, rows: Iterable[T]) -> "ReservoirSampler":
         """Offer every row from an iterable."""
         for row in rows:
@@ -129,10 +143,43 @@ class ReservoirSampler(Generic[T], SerializableSketch):
         scale = self.scale_factor()
         return {item: count * scale for item, count in counts.items()}
 
+    def estimate(self, item: Item) -> float:
+        """Estimated row count for one item (0 when absent from the sample)."""
+        return self.item_estimates().get(item, 0.0)
+
+    def estimates(self) -> Dict[Item, float]:
+        """Protocol-conformant alias of :meth:`item_estimates`."""
+        return self.item_estimates()
+
     def subset_sum(self, predicate: ItemPredicate) -> float:
         """Estimate of the number of rows whose item matches ``predicate``."""
         return float(
             sum(value for item, value in self.item_estimates().items() if predicate(item))
+        )
+
+    def subset_sum_with_error(self, predicate: ItemPredicate) -> EstimateWithError:
+        """Subset sum with the Bernoulli-approximation variance estimate.
+
+        Each of the ``C_S`` sampled rows matching the predicate contributes
+        the scale factor ``n/k``; approximating the without-replacement
+        draw as Bernoulli sampling with ``π = k/n`` gives
+        ``Var ≈ C_S · (n/k)² · π(1−π)``, the standard uniform-row-sampling
+        plug-in (exact enough for the ablation comparisons this sampler
+        backs).
+        """
+        scale = self.scale_factor()
+        if scale <= 0:
+            return EstimateWithError(estimate=0.0, variance=0.0)
+        counts = Counter(self._reservoir)
+        matched = sum(count for item, count in counts.items() if predicate(item))
+        pi = min(1.0, 1.0 / scale)
+        variance = matched * scale * scale * pi * (1.0 - pi)
+        return EstimateWithError(estimate=matched * scale, variance=variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"sampled={len(self._reservoir)}, rows_processed={self._rows_processed})"
         )
 
     # ------------------------------------------------------------------

@@ -126,8 +126,10 @@ SKETCH_FACTORIES = [
 
 
 def _estimates_of(sketch, items):
+    # CountMin / Count Sketch enumerate only a tracked-key view (absent
+    # here), so compare them on explicit per-item point estimates.
     estimates = getattr(sketch, "estimates", None)
-    if estimates is not None and not isinstance(sketch, CountMinSketch):
+    if estimates is not None and not isinstance(sketch, (CountMinSketch, CountSketch)):
         return sketch.estimates()
     return {item: sketch.estimate(item) for item in items}
 

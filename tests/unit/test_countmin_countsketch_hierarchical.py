@@ -32,7 +32,7 @@ class TestCountMin:
     def test_estimates_never_undercount(self):
         rows = ["hot"] * 50 + [f"c{i}" for i in range(200)]
         sketch = CountMinSketch(width=128, depth=4, seed=0)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item in truth:
             assert sketch.estimate(item) >= truth[item]
@@ -40,7 +40,7 @@ class TestCountMin:
     def test_overestimate_within_error_bound_typically(self):
         rows = ["hot"] * 100 + [f"c{i}" for i in range(300)]
         sketch = CountMinSketch(width=256, depth=5, seed=1)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.estimate("hot") - 100 <= sketch.error_bound()
 
     def test_deletions_rejected(self):
@@ -51,8 +51,8 @@ class TestCountMin:
         rows = [f"i{k % 30}" for k in range(500)]
         plain = CountMinSketch(width=32, depth=3, seed=2)
         conservative = CountMinSketch(width=32, depth=3, conservative=True, seed=2)
-        plain.update_stream(rows)
-        conservative.update_stream(rows)
+        plain.extend(rows)
+        conservative.extend(rows)
         for item in set(rows):
             assert conservative.estimate(item) <= plain.estimate(item)
             assert conservative.estimate(item) >= Counter(rows)[item]
@@ -60,7 +60,7 @@ class TestCountMin:
     def test_heavy_hitter_tracking(self):
         rows = ["hot"] * 200 + [f"c{i}" for i in range(100)]
         sketch = CountMinSketch(width=128, depth=4, track_heavy_hitters=10, seed=3)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert "hot" in sketch.heavy_hitters(0.3)
 
     def test_heavy_hitters_requires_tracking(self):
@@ -80,8 +80,8 @@ class TestCountMin:
         right_rows = ["a"] * 2 + ["c"] * 7
         left = CountMinSketch(width=64, depth=3, seed=5)
         right = CountMinSketch(width=64, depth=3, seed=5)
-        left.update_stream(left_rows)
-        right.update_stream(right_rows)
+        left.extend(left_rows)
+        right.extend(right_rows)
         true_join = 10 * 2
         assert left.inner_product(right) >= true_join
 
@@ -94,7 +94,7 @@ class TestCountSketch:
     def test_estimate_close_for_dominant_item(self):
         rows = ["hot"] * 200 + [f"c{i}" for i in range(50)]
         sketch = CountSketch(width=128, depth=5, seed=0)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.estimate("hot") == pytest.approx(200, abs=30)
 
     def test_signed_updates_supported(self):
@@ -106,7 +106,7 @@ class TestCountSketch:
     def test_second_moment_estimate(self):
         rows = ["a"] * 30 + ["b"] * 20 + ["c"] * 10
         sketch = CountSketch(width=256, depth=7, seed=2)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         true_f2 = 30**2 + 20**2 + 10**2
         assert sketch.second_moment() == pytest.approx(true_f2, rel=0.35)
 
@@ -116,7 +116,7 @@ class TestCountSketch:
 
     def test_estimates_for_explicit_candidates(self):
         sketch = CountSketch(width=64, depth=5, seed=3)
-        sketch.update_stream(["x"] * 5 + ["y"] * 2)
+        sketch.extend(["x"] * 5 + ["y"] * 2)
         estimates = sketch.estimates_for(["x", "y", "z"])
         assert set(estimates) == {"x", "y", "z"}
 
@@ -186,6 +186,6 @@ class TestHierarchicalHeavyHitters:
 
     def test_update_stream_with_weights(self):
         hhh = HierarchicalHeavyHitters(depth=2, capacity=8, seed=4)
-        hhh.update_stream([(("a", "x"), 2.0), ("b", "y")])
+        hhh.extend([(("a", "x"), 2.0), ("b", "y")])
         assert hhh.rows_processed == 2
         assert hhh.estimate(("a",)) == pytest.approx(2.0)

@@ -83,7 +83,7 @@ class TestForwardDecaySketch:
 
     def test_update_stream_accepts_two_and_three_tuples(self):
         sketch = ForwardDecaySketch(capacity=4, decay=exponential_decay(0.1))
-        sketch.update_stream([("a", 1.0), ("b", 2.0, 3.0)])
+        sketch.extend([("a", 1.0), ("b", 2.0, 3.0)])
         assert sketch.underlying_sketch.rows_processed == 2
 
     def test_query_before_landmark_rejected(self):
@@ -98,12 +98,12 @@ class TestForwardDecaySketch:
 class TestAdaptiveUnbiasedSpaceSaving:
     def test_capacity_respected(self):
         sketch = AdaptiveUnbiasedSpaceSaving(capacity=6, seed=0)
-        sketch.update_stream(range(200))
+        sketch.extend(range(200))
         assert len(sketch) <= 6
 
     def test_total_preserved(self):
         sketch = AdaptiveUnbiasedSpaceSaving(capacity=6, seed=1)
-        sketch.update_stream(range(150))
+        sketch.extend(range(150))
         assert sum(sketch.estimates().values()) == pytest.approx(150.0)
 
     def test_manual_shrink_is_unbiased_in_expectation(self):
@@ -112,14 +112,14 @@ class TestAdaptiveUnbiasedSpaceSaving:
         totals = []
         for seed in range(200):
             sketch = AdaptiveUnbiasedSpaceSaving(capacity=20, seed=seed)
-            sketch.update_stream(range(40))
+            sketch.extend(range(40))
             sketch.resize(5)
             totals.append(sum(sketch.estimates().values()))
         assert np.mean(totals) == pytest.approx(40.0, rel=0.1)
 
     def test_grow_keeps_existing_bins(self):
         sketch = AdaptiveUnbiasedSpaceSaving(capacity=3, seed=2)
-        sketch.update_stream(["a", "b", "c"])
+        sketch.extend(["a", "b", "c"])
         sketch.resize(10)
         assert sketch.capacity == 10
         assert sketch.estimates() == {"a": 1.0, "b": 1.0, "c": 1.0}
@@ -128,7 +128,7 @@ class TestAdaptiveUnbiasedSpaceSaving:
         sketch = AdaptiveUnbiasedSpaceSaving(
             capacity=2, max_capacity=16, growth_trigger=0.05, seed=3
         )
-        sketch.update_stream(range(300))
+        sketch.extend(range(300))
         assert sketch.capacity > 2
         assert sketch.capacity <= 16
         assert sketch.resize_events > 0
@@ -146,7 +146,7 @@ class TestAdaptiveUnbiasedSpaceSaving:
 
     def test_subset_sum_with_error(self):
         sketch = AdaptiveUnbiasedSpaceSaving(capacity=5, seed=4)
-        sketch.update_stream(range(100))
+        sketch.extend(range(100))
         result = sketch.subset_sum_with_error(lambda item: item < 50)
         assert result.variance > 0
 
@@ -167,7 +167,7 @@ class TestSignedUnbiasedSpaceSaving:
 
     def test_update_stream_and_subset_sum(self):
         sketch = SignedUnbiasedSpaceSaving(capacity=8, seed=1)
-        sketch.update_stream([("a", 2), ("b", 4), ("a", -1), ("c", -2)])
+        sketch.extend([("a", 2), ("b", 4), ("a", -1), ("c", -2)])
         assert sketch.subset_sum(lambda item: item in {"a", "b"}) == pytest.approx(5.0)
         result = sketch.subset_sum_with_error(lambda item: True)
         assert result.estimate == pytest.approx(3.0)

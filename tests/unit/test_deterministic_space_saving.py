@@ -29,7 +29,7 @@ class TestExactRegime:
     def test_counts_exact_when_under_capacity(self):
         sketch = DeterministicSpaceSaving(capacity=10)
         rows = ["a"] * 5 + ["b"] * 3 + ["c"] * 2
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.estimate("a") == 5
         assert sketch.estimate("b") == 3
         assert sketch.estimate("c") == 2
@@ -38,7 +38,7 @@ class TestExactRegime:
 
     def test_rows_processed_and_total_weight(self):
         sketch = DeterministicSpaceSaving(capacity=4)
-        sketch.update_stream(["x", "y", "x"])
+        sketch.extend(["x", "y", "x"])
         assert sketch.rows_processed == 3
         assert sketch.total_weight == 3.0
 
@@ -46,7 +46,7 @@ class TestExactRegime:
 class TestOverflowBehaviour:
     def test_new_item_takes_over_minimum_bin(self):
         sketch = DeterministicSpaceSaving(capacity=2)
-        sketch.update_stream(["a", "a", "b"])
+        sketch.extend(["a", "a", "b"])
         sketch.update("c")
         # "c" must replace "b" (the minimum) and inherit its count plus one.
         assert "c" in sketch.estimates()
@@ -56,7 +56,7 @@ class TestOverflowBehaviour:
     def test_estimates_always_upper_bounds(self):
         sketch = DeterministicSpaceSaving(capacity=5, seed=0)
         rows = (["a"] * 30 + ["b"] * 20 + list(range(40)))
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item, estimate in sketch.estimates().items():
             assert estimate >= truth[item]
@@ -64,7 +64,7 @@ class TestOverflowBehaviour:
     def test_error_bound_caps_overestimate(self):
         rows = ["hot"] * 50 + list(range(100))
         sketch = DeterministicSpaceSaving(capacity=10, seed=1)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         bound = sketch.error_bound()
         assert bound <= len(rows) / 10
         assert sketch.estimate("hot") - 50 <= bound
@@ -72,12 +72,12 @@ class TestOverflowBehaviour:
     def test_total_estimate_preserved(self):
         rows = ["a"] * 10 + ["b"] * 5 + list(range(20))
         sketch = DeterministicSpaceSaving(capacity=6, seed=2)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sum(sketch.estimates().values()) == len(rows)
 
     def test_sketch_size_never_exceeds_capacity(self):
         sketch = DeterministicSpaceSaving(capacity=8, seed=3)
-        sketch.update_stream(range(200))
+        sketch.extend(range(200))
         assert len(sketch) == 8
 
 
@@ -89,13 +89,13 @@ class TestGuarantees:
             rows.append("hot")
             rows.append(f"cold{index}")
         sketch = DeterministicSpaceSaving(capacity=4, seed=4)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert "hot" in sketch.estimates()
 
     def test_guaranteed_heavy_hitters_are_truly_frequent(self):
         rows = ["hot"] * 120 + [f"c{i}" for i in range(80)]
         sketch = DeterministicSpaceSaving(capacity=10, seed=5)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         guaranteed = sketch.guaranteed_heavy_hitters(0.3)
         assert "hot" in guaranteed
         truth = Counter(rows)
@@ -105,7 +105,7 @@ class TestGuarantees:
     def test_lower_bound_never_exceeds_truth(self):
         rows = ["a"] * 25 + ["b"] * 10 + list(range(60))
         sketch = DeterministicSpaceSaving(capacity=6, seed=6)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item in sketch.estimates():
             assert sketch.lower_bound(item) <= truth[item]
@@ -123,7 +123,7 @@ class TestMisraGriesIsomorphism:
     def test_soft_threshold_relationship(self):
         rows = ["a"] * 12 + ["b"] * 7 + list(range(30))
         sketch = DeterministicSpaceSaving(capacity=5, seed=7)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         min_count = min(sketch.estimates().values())
         for item, mg_estimate in sketch.to_misra_gries_estimates().items():
             assert mg_estimate == pytest.approx(
@@ -154,6 +154,6 @@ class TestWeightsAndErrors:
 
     def test_bins_expose_acquisition_error(self):
         sketch = DeterministicSpaceSaving(capacity=2, seed=8)
-        sketch.update_stream(["a", "a", "b", "c"])
+        sketch.extend(["a", "a", "b", "c"])
         bins = {label: (count, error) for label, count, error in sketch.bins()}
         assert bins["c"][1] >= 1.0

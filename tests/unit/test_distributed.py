@@ -80,7 +80,7 @@ class TestMapReduce:
 
     def test_single_sketch_tree_merge_is_identity(self):
         sketch = UnbiasedSpaceSaving(capacity=8, seed=0)
-        sketch.update_stream(range(20))
+        sketch.extend(range(20))
         assert tree_merge([sketch]) is sketch
 
     def test_distributed_pipeline_end_to_end(self):

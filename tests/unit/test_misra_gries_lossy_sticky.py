@@ -16,7 +16,7 @@ from repro.errors import InvalidParameterError, UnsupportedUpdateError
 class TestMisraGries:
     def test_exact_under_capacity(self):
         sketch = MisraGriesSketch(capacity=5)
-        sketch.update_stream(["a", "b", "a"])
+        sketch.extend(["a", "b", "a"])
         assert sketch.estimate("a") == 2
         assert sketch.estimate("b") == 1
         assert sketch.decrements == 0
@@ -24,7 +24,7 @@ class TestMisraGries:
     def test_estimates_never_exceed_truth(self):
         rows = ["hot"] * 30 + [f"c{i}" for i in range(50)] * 2
         sketch = MisraGriesSketch(capacity=8)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item, estimate in sketch.estimates().items():
             assert estimate <= truth[item]
@@ -32,7 +32,7 @@ class TestMisraGries:
     def test_undercount_bounded_by_decrements(self):
         rows = ["hot"] * 40 + [f"c{i}" for i in range(100)]
         sketch = MisraGriesSketch(capacity=10)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item in truth:
             assert truth[item] - sketch.estimate(item) <= sketch.error_bound()
@@ -41,18 +41,18 @@ class TestMisraGries:
         rows = list(range(120)) * 2
         capacity = 11
         sketch = MisraGriesSketch(capacity=capacity)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.error_bound() <= len(rows) / (capacity + 1)
 
     def test_capacity_respected(self):
         sketch = MisraGriesSketch(capacity=6)
-        sketch.update_stream(range(300))
+        sketch.extend(range(300))
         assert len(sketch.estimates()) <= 6
 
     def test_frequent_item_always_has_nonzero_counter(self):
         rows = (["hot"] * 50 + [f"c{i}" for i in range(100)])
         sketch = MisraGriesSketch(capacity=4)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.estimate("hot") > 0
 
     def test_integer_weight_updates(self):
@@ -70,7 +70,7 @@ class TestMisraGries:
     def test_guaranteed_heavy_hitters(self):
         rows = ["hot"] * 60 + [f"c{i}" for i in range(60)]
         sketch = MisraGriesSketch(capacity=10)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert "hot" in sketch.guaranteed_heavy_hitters(0.3)
         with pytest.raises(InvalidParameterError):
             sketch.guaranteed_heavy_hitters(2.0)
@@ -79,9 +79,9 @@ class TestMisraGries:
         """Adding decrements back recovers the Space Saving estimates (§5.2)."""
         rows = ["a"] * 9 + ["b"] * 6 + list(range(20))
         misra_gries = MisraGriesSketch(capacity=4)
-        misra_gries.update_stream(rows)
+        misra_gries.extend(rows)
         space_saving = DeterministicSpaceSaving(capacity=4, seed=0)
-        space_saving.update_stream(rows)
+        space_saving.extend(rows)
         # Both sketches process the same prefix deterministically up to tie
         # breaks; the recovered estimates must agree for the clear frequent
         # item and the totals must line up with the isomorphism.
@@ -93,9 +93,9 @@ class TestMisraGries:
 
     def test_merge_respects_capacity_and_guarantee(self):
         first = MisraGriesSketch(capacity=5)
-        first.update_stream(["a"] * 10 + list(range(20)))
+        first.extend(["a"] * 10 + list(range(20)))
         second = MisraGriesSketch(capacity=5)
-        second.update_stream(["a"] * 5 + list(range(20, 40)))
+        second.extend(["a"] * 5 + list(range(20, 40)))
         merged = first.merge(second)
         assert len(merged.estimates()) <= 5
         assert merged.estimate("a") <= 15
@@ -121,7 +121,7 @@ class TestLossyCounting:
     def test_estimates_never_exceed_truth(self):
         rows = ["hot"] * 40 + [f"c{i}" for i in range(200)]
         sketch = LossyCountingSketch(epsilon=0.05)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item, estimate in sketch.estimates().items():
             assert estimate <= truth[item]
@@ -129,7 +129,7 @@ class TestLossyCounting:
     def test_undercount_bounded_by_epsilon_n(self):
         rows = ["hot"] * 50 + [f"c{i}" for i in range(300)]
         sketch = LossyCountingSketch(epsilon=0.05)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item in truth:
             assert truth[item] - sketch.estimate(item) <= sketch.error_bound() + 1e-9
@@ -137,13 +137,13 @@ class TestLossyCounting:
     def test_frequent_items_no_false_negatives(self):
         rows = ["hot"] * 100 + [f"c{i}" for i in range(150)]
         sketch = LossyCountingSketch(epsilon=0.02)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         frequent = sketch.frequent_items(support=0.3)
         assert "hot" in frequent
 
     def test_pruning_happens_at_bucket_boundaries(self):
         sketch = LossyCountingSketch(epsilon=0.25)  # bucket width 4
-        sketch.update_stream(["a", "b", "c", "d"])
+        sketch.extend(["a", "b", "c", "d"])
         # After one full bucket every singleton has count + delta == bucket,
         # so they are all pruned.
         assert len(sketch) == 0
@@ -151,7 +151,7 @@ class TestLossyCounting:
 
     def test_upper_bound_at_least_estimate(self):
         sketch = LossyCountingSketch(epsilon=0.1)
-        sketch.update_stream(["a"] * 20 + list(range(50)))
+        sketch.extend(["a"] * 20 + list(range(50)))
         for item in sketch.estimates():
             assert sketch.upper_bound(item) >= sketch.estimate(item)
 
@@ -177,7 +177,7 @@ class TestStickySampling:
     def test_estimates_never_exceed_truth(self):
         rows = ["hot"] * 60 + [f"c{i}" for i in range(100)]
         sketch = StickySamplingSketch(epsilon=0.05, seed=1)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item, estimate in sketch.estimates().items():
             assert estimate <= truth[item]
@@ -185,12 +185,12 @@ class TestStickySampling:
     def test_frequent_item_reported(self):
         rows = ["hot"] * 300 + [f"c{i}" for i in range(100)]
         sketch = StickySamplingSketch(epsilon=0.05, delta=0.01, seed=2)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert "hot" in sketch.frequent_items(support=0.5)
 
     def test_sampling_rate_decreases_on_long_streams(self):
         sketch = StickySamplingSketch(epsilon=0.2, delta=0.1, seed=3)
-        sketch.update_stream(f"i{k}" for k in range(5000))
+        sketch.extend(f"i{k}" for k in range(5000))
         assert sketch.sampling_rate < 1.0
 
     def test_invalid_support_rejected(self):

@@ -59,7 +59,7 @@ class TestSubsetSumEstimator:
 
     def test_from_sketch_uses_error_model(self):
         sketch = UnbiasedSpaceSaving(capacity=3, seed=0)
-        sketch.update_stream(range(60))
+        sketch.extend(range(60))
         estimator = SubsetSumEstimator(sketch)
         result = estimator.subset_sum_with_error(lambda item: item < 30)
         assert result.variance > 0
@@ -146,7 +146,7 @@ class TestMarginals:
 class TestQueryEngine:
     def test_scalar_query_with_error(self):
         sketch = UnbiasedSpaceSaving(capacity=4, seed=1)
-        sketch.update_stream(range(80))
+        sketch.extend(range(80))
         engine = SketchQueryEngine(sketch)
         result = engine.select_sum(where=lambda item: item < 40)
         assert not result.is_grouped
@@ -181,5 +181,5 @@ class TestQueryEngine:
 
     def test_engine_total_matches_sketch(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=2)
-        sketch.update_stream(range(50))
+        sketch.extend(range(50))
         assert SketchQueryEngine(sketch).total() == pytest.approx(50.0)

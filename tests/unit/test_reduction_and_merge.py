@@ -64,12 +64,12 @@ class TestReductionPolicies:
 class TestGeneralizedSpaceSaving:
     def test_capacity_respected(self):
         sketch = GeneralizedSpaceSaving(capacity=4, seed=0)
-        sketch.update_stream(range(100))
+        sketch.extend(range(100))
         assert len(sketch) <= 4
 
     def test_total_preserved_with_unbiased_policy(self):
         sketch = GeneralizedSpaceSaving(capacity=3, seed=1)
-        sketch.update_stream(range(60))
+        sketch.extend(range(60))
         assert sum(sketch.estimates().values()) == pytest.approx(60.0)
 
     def test_matches_deterministic_with_deterministic_policy(self):
@@ -77,9 +77,9 @@ class TestGeneralizedSpaceSaving:
         general = GeneralizedSpaceSaving(
             capacity=3, policy=DeterministicPairReduction(), seed=2
         )
-        general.update_stream(rows)
+        general.extend(rows)
         reference = DeterministicSpaceSaving(capacity=3, seed=2)
-        reference.update_stream(rows)
+        reference.extend(rows)
         assert sum(general.estimates().values()) == sum(reference.estimates().values())
 
     def test_add_aggregate_with_pps_policy(self):
@@ -98,14 +98,14 @@ class TestGeneralizedSpaceSaving:
 
     def test_subset_sum_with_error(self):
         sketch = GeneralizedSpaceSaving(capacity=3, seed=4)
-        sketch.update_stream(range(50))
+        sketch.extend(range(50))
         result = sketch.subset_sum_with_error(lambda item: item < 25)
         assert result.variance >= 0.0
 
 
 def _build_sketch(rows, capacity, seed):
     sketch = UnbiasedSpaceSaving(capacity, seed=seed)
-    sketch.update_stream(rows)
+    sketch.extend(rows)
     return sketch
 
 
@@ -195,17 +195,17 @@ class TestUnbiasedMerge:
 class TestMisraGriesMerge:
     def test_merge_caps_nonzero_counters(self):
         first = DeterministicSpaceSaving(10, seed=0)
-        first.update_stream(range(100))
+        first.extend(range(100))
         second = DeterministicSpaceSaving(10, seed=1)
-        second.update_stream(range(50, 150))
+        second.extend(range(50, 150))
         merged = merge_misra_gries(first, second)
         assert len(merged) <= 10
 
     def test_merge_biases_counts_downward(self):
         first = DeterministicSpaceSaving(5, seed=0)
-        first.update_stream(["hot"] * 20 + list(range(30)))
+        first.extend(["hot"] * 20 + list(range(30)))
         second = DeterministicSpaceSaving(5, seed=1)
-        second.update_stream(["hot"] * 15 + list(range(30, 60)))
+        second.extend(["hot"] * 15 + list(range(30, 60)))
         merged = merge_misra_gries(first, second)
         assert sum(merged.values()) <= sum(
             combine_estimates([first, second]).values()
@@ -213,8 +213,8 @@ class TestMisraGriesMerge:
 
     def test_merge_under_capacity_is_exact_sum(self):
         first = DeterministicSpaceSaving(10, seed=0)
-        first.update_stream(["a", "b"])
+        first.extend(["a", "b"])
         second = DeterministicSpaceSaving(10, seed=1)
-        second.update_stream(["a", "c"])
+        second.extend(["a", "c"])
         merged = merge_misra_gries(first, second)
         assert merged == {"a": 2.0, "b": 1.0, "c": 1.0}

@@ -17,7 +17,7 @@ class TestCountingSamples:
     def test_rate_one_is_exact(self):
         rows = ["a"] * 5 + ["b"] * 2
         sketch = CountingSampleSketch(sampling_rate=1.0, seed=0)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         truth = Counter(rows)
         for item in truth:
             assert sketch.estimate(item) == truth[item]
@@ -37,28 +37,28 @@ class TestCountingSamples:
         estimates = []
         for seed in range(400):
             sketch = CountingSampleSketch(sampling_rate=0.3, seed=seed)
-            sketch.update_stream(rows)
+            sketch.extend(rows)
             estimates.append(sketch.estimate("hot"))
         standard_error = np.std(estimates) / np.sqrt(len(estimates))
         assert abs(np.mean(estimates) - 40.0) <= 4 * standard_error + 0.5
 
     def test_subset_sum_with_error(self):
         sketch = CountingSampleSketch(sampling_rate=0.5, seed=1)
-        sketch.update_stream(["a"] * 10 + ["b"] * 5)
+        sketch.extend(["a"] * 10 + ["b"] * 5)
         result = sketch.subset_sum_with_error(lambda item: True)
         assert result.estimate > 0
         assert result.variance >= 0
 
     def test_raw_counts_exposed(self):
         sketch = CountingSampleSketch(sampling_rate=1.0, seed=2)
-        sketch.update_stream(["a", "a", "b"])
+        sketch.extend(["a", "a", "b"])
         assert sketch.raw_counts() == {"a": 2, "b": 1}
 
 
 class TestAdaptiveSampleAndHold:
     def test_capacity_bounded(self):
         sketch = AdaptiveSampleAndHold(capacity=12, seed=0)
-        sketch.update_stream(range(500))
+        sketch.extend(range(500))
         assert len(sketch) <= 12
         assert sketch.sampling_rate < 1.0
         assert sketch.rate_changes > 0
@@ -75,7 +75,7 @@ class TestAdaptiveSampleAndHold:
 
     def test_exact_while_under_capacity(self):
         sketch = AdaptiveSampleAndHold(capacity=10, seed=1)
-        sketch.update_stream(["a"] * 4 + ["b"] * 2)
+        sketch.extend(["a"] * 4 + ["b"] * 2)
         assert sketch.estimate("a") == 4.0
         assert sketch.estimate("b") == 2.0
 
@@ -86,7 +86,7 @@ class TestAdaptiveSampleAndHold:
             rng = np.random.default_rng(seed)
             shuffled = list(rng.permutation(np.array(rows, dtype=object)))
             sketch = AdaptiveSampleAndHold(capacity=20, seed=seed)
-            sketch.update_stream(shuffled)
+            sketch.extend(shuffled)
             estimates.append(sketch.estimate("hot"))
         # The adjustment is only approximately unbiased for items that churn;
         # the frequent item should be recovered within a modest tolerance.
@@ -107,9 +107,9 @@ class TestAdaptiveSampleAndHold:
             rng = np.random.default_rng(seed)
             shuffled = list(rng.permutation(np.array(rows, dtype=object)))
             uss = UnbiasedSpaceSaving(capacity=25, seed=seed)
-            uss.update_stream(shuffled)
+            uss.extend(shuffled)
             ash = AdaptiveSampleAndHold(capacity=25, seed=seed)
-            ash.update_stream(shuffled)
+            ash.extend(shuffled)
             predicate = lambda item: item in subset  # noqa: E731
             uss_errors.append((uss.subset_sum(predicate) - truth) ** 2)
             ash_errors.append((ash.subset_sum(predicate) - truth) ** 2)
@@ -117,7 +117,7 @@ class TestAdaptiveSampleAndHold:
 
     def test_subset_sum_with_error(self):
         sketch = AdaptiveSampleAndHold(capacity=8, seed=3)
-        sketch.update_stream(range(200))
+        sketch.extend(range(200))
         result = sketch.subset_sum_with_error(lambda item: item < 100)
         assert result.variance >= 0
 
@@ -125,7 +125,7 @@ class TestAdaptiveSampleAndHold:
 class TestStepSampleAndHold:
     def test_capacity_bounded_and_steps_recorded(self):
         sketch = StepSampleAndHold(capacity=10, seed=0)
-        sketch.update_stream(range(400))
+        sketch.extend(range(400))
         assert len(sketch) <= 10
         assert sketch.current_step > 0
         assert len(sketch.step_rates) == sketch.current_step + 1
@@ -140,13 +140,13 @@ class TestStepSampleAndHold:
 
     def test_exact_while_under_capacity(self):
         sketch = StepSampleAndHold(capacity=10, seed=1)
-        sketch.update_stream(["a"] * 3 + ["b"])
+        sketch.extend(["a"] * 3 + ["b"])
         assert sketch.estimate("a") == 3.0
         assert sketch.per_step_counts("a") == {0: 3}
 
     def test_storage_cells_counts_all_steps(self):
         sketch = StepSampleAndHold(capacity=6, seed=2)
-        sketch.update_stream([f"i{k % 12}" for k in range(300)])
+        sketch.extend([f"i{k % 12}" for k in range(300)])
         assert sketch.storage_cells() >= len(sketch)
 
     def test_frequent_item_estimate_close(self):
@@ -156,7 +156,7 @@ class TestStepSampleAndHold:
             rng = np.random.default_rng(seed)
             shuffled = list(rng.permutation(np.array(rows, dtype=object)))
             sketch = StepSampleAndHold(capacity=30, seed=seed)
-            sketch.update_stream(shuffled)
+            sketch.extend(shuffled)
             estimates.append(sketch.estimate("hot"))
         # The implementation documents a simplified estimator: entry-coin
         # re-tosses lose pre-re-entry mass, so the recovered count is biased
@@ -166,7 +166,7 @@ class TestStepSampleAndHold:
 
     def test_subset_sum_with_error(self):
         sketch = StepSampleAndHold(capacity=8, seed=3)
-        sketch.update_stream(range(120))
+        sketch.extend(range(120))
         result = sketch.subset_sum_with_error(lambda item: True)
         assert result.estimate >= 0
         assert result.variance >= 0

@@ -40,7 +40,7 @@ class TestConstruction:
 class TestExactRegime:
     def test_exact_counts_under_capacity(self):
         sketch = UnbiasedSpaceSaving(capacity=10, seed=0)
-        sketch.update_stream(["a"] * 4 + ["b"] * 2 + ["c"])
+        sketch.extend(["a"] * 4 + ["b"] * 2 + ["c"])
         assert sketch.estimate("a") == 4
         assert sketch.estimate("b") == 2
         assert sketch.estimate("c") == 1
@@ -56,26 +56,26 @@ class TestExactRegime:
 class TestOverflowBehaviour:
     def test_capacity_never_exceeded(self):
         sketch = UnbiasedSpaceSaving(capacity=7, seed=1)
-        sketch.update_stream(range(500))
+        sketch.extend(range(500))
         assert len(sketch) == 7
         assert sketch.is_saturated()
 
     def test_total_is_always_exact(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=2)
         rows = ["a"] * 20 + list(range(100))
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         assert sketch.total_estimate() == pytest.approx(len(rows))
 
     def test_counter_increment_happens_even_without_relabel(self):
         # With 1 bin every new item increments the single counter.
         sketch = UnbiasedSpaceSaving(capacity=1, seed=3)
-        sketch.update_stream(range(50))
+        sketch.extend(range(50))
         assert sketch.total_estimate() == 50.0
         assert len(sketch) == 1
 
     def test_label_replacements_counted(self):
         sketch = UnbiasedSpaceSaving(capacity=2, seed=4)
-        sketch.update_stream(range(200))
+        sketch.extend(range(200))
         assert 0 < sketch.label_replacements <= 200
 
 
@@ -92,7 +92,7 @@ class TestUnbiasedness:
             rng = np.random.default_rng(seed)
             shuffled = list(rng.permutation(np.array(rows, dtype=object)))
             sketch = UnbiasedSpaceSaving(capacity=8, seed=seed)
-            sketch.update_stream(shuffled)
+            sketch.extend(shuffled)
             estimates.append(sketch.estimate("target"))
         mean_estimate = float(np.mean(estimates))
         standard_error = float(np.std(estimates) / np.sqrt(len(estimates)))
@@ -107,7 +107,7 @@ class TestUnbiasedness:
             rng = np.random.default_rng(seed + 1000)
             shuffled = list(rng.permutation(np.array(rows, dtype=object)))
             sketch = UnbiasedSpaceSaving(capacity=15, seed=seed)
-            sketch.update_stream(shuffled)
+            sketch.extend(shuffled)
             estimates.append(sketch.subset_sum(lambda item: item in subset))
         mean_estimate = float(np.mean(estimates))
         standard_error = float(np.std(estimates) / np.sqrt(len(estimates)))
@@ -117,7 +117,7 @@ class TestUnbiasedness:
 class TestFrequentItems:
     def test_frequent_item_retained_with_near_exact_count(self, small_stream, small_skewed_model):
         sketch = UnbiasedSpaceSaving(capacity=40, seed=5)
-        sketch.update_stream(small_stream)
+        sketch.extend(small_stream)
         top_item, top_count = small_skewed_model.sorted_items()[0]
         assert top_item in sketch.estimates()
         assert sketch.estimate(top_item) == pytest.approx(top_count, rel=0.15)
@@ -125,13 +125,13 @@ class TestFrequentItems:
     def test_heavy_hitters_report(self):
         rows = ["hot"] * 400 + [f"c{i}" for i in range(200)]
         sketch = UnbiasedSpaceSaving(capacity=20, seed=6)
-        sketch.update_stream(rows)
+        sketch.extend(rows)
         hitters = sketch.heavy_hitters(0.5)
         assert set(hitters) == {"hot"}
 
     def test_top_k_sorted_by_estimate(self):
         sketch = UnbiasedSpaceSaving(capacity=10, seed=7)
-        sketch.update_stream(["a"] * 5 + ["b"] * 3 + ["c"])
+        sketch.extend(["a"] * 5 + ["b"] * 3 + ["c"])
         top = sketch.top_k(2)
         assert [item for item, _ in top] == ["a", "b"]
 
@@ -143,20 +143,20 @@ class TestFrequentItems:
 class TestVarianceAndConfidence:
     def test_subset_sum_with_error_exact_regime_zero_variance(self):
         sketch = UnbiasedSpaceSaving(capacity=10, seed=8)
-        sketch.update_stream(["a"] * 4 + ["b"])
+        sketch.extend(["a"] * 4 + ["b"])
         result = sketch.subset_sum_with_error(lambda item: item == "a")
         assert result.estimate == 4.0
         assert result.variance == 0.0
 
     def test_variance_positive_when_saturated(self):
         sketch = UnbiasedSpaceSaving(capacity=4, seed=9)
-        sketch.update_stream(range(100))
+        sketch.extend(range(100))
         result = sketch.subset_sum_with_error(lambda item: True)
         assert result.variance > 0
 
     def test_confidence_interval_contains_estimate(self):
         sketch = UnbiasedSpaceSaving(capacity=4, seed=10)
-        sketch.update_stream(range(100))
+        sketch.extend(range(100))
         predicate = lambda item: item < 50  # noqa: E731 - concise test predicate
         low, high = sketch.subset_sum_confidence_interval(predicate)
         estimate = sketch.subset_sum(predicate)
@@ -164,7 +164,7 @@ class TestVarianceAndConfidence:
 
     def test_approximate_inclusion_probability(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=11)
-        sketch.update_stream(range(200))
+        sketch.extend(range(200))
         assert sketch.approximate_inclusion_probability(0) == 0.0
         assert sketch.approximate_inclusion_probability(sketch.min_count * 2) == 1.0
         with pytest.raises(InvalidParameterError):
@@ -210,13 +210,13 @@ class TestWeightedUpdates:
 
     def test_update_stream_accepts_weighted_pairs(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=15)
-        sketch.update_stream([("a", 2), ("b", 3)])
+        sketch.extend([("a", 2), ("b", 3)])
         assert sketch.estimate("a") == 2.0
         assert sketch.estimate("b") == 3.0
 
     def test_update_stream_keeps_tuple_items_as_keys(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=16)
-        sketch.update_stream([("user1", "ad1"), ("user1", "ad1"), ("user2", "ad2")])
+        sketch.extend([("user1", "ad1"), ("user1", "ad1"), ("user2", "ad2")])
         assert sketch.estimate(("user1", "ad1")) == 2.0
 
 
@@ -225,12 +225,12 @@ class TestDeterministicComparison:
         from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 
         rows = ["a", "b", "a", "c", "a", "b"]
-        unbiased = UnbiasedSpaceSaving(capacity=10, seed=17).update_stream(rows)
+        unbiased = UnbiasedSpaceSaving(capacity=10, seed=17).extend(rows)
         deterministic = DeterministicSpaceSaving(capacity=10, seed=17)
-        deterministic.update_stream(rows)
+        deterministic.extend(rows)
         assert unbiased.estimates() == deterministic.estimates()
 
     def test_relative_frequencies_sum_to_one_when_saturated(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=18)
-        sketch.update_stream(range(100))
+        sketch.extend(range(100))
         assert sum(sketch.relative_frequencies().values()) == pytest.approx(1.0)
