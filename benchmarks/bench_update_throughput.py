@@ -6,14 +6,17 @@ Two layers live in this file:
 
       PYTHONPATH=src python benchmarks/bench_update_throughput.py
 
-  to stream a 1M-row Zipf workload through Unbiased Space Saving four
+  to stream a 1M-row Zipf workload through Unbiased Space Saving five
   ways — the scalar ``update`` loop, the vectorized ``update_batch`` fast
-  path, the hash-partitioned in-process ``ShardedSketch`` executor, and
-  the multiprocess ``ParallelSketchExecutor`` (serialized shard states
-  fanned out to a worker pool) — and emit a JSON perf record (printed,
-  and written to ``benchmarks/results/update_throughput.json``).  The
-  record includes an equivalence section verifying that all modes
-  preserve the exact stream total and agree on the heavy hitters.
+  path, the hash-partitioned in-process ``ShardedSketch`` executor, the
+  multiprocess ``ParallelSketchExecutor`` (serialized shard states
+  fanned out to a worker pool), and the timestamped *windowed* path (a
+  ``SlidingWindowSketch`` routing every batch to its pane) — and emit a
+  JSON perf record (printed, and written to
+  ``benchmarks/results/update_throughput.json``).  The record includes
+  an equivalence section verifying that all modes preserve the exact
+  stream total and agree on the heavy hitters (the windowed mode's
+  horizon is sized to cover the whole stream so its totals compare).
 
 * **pytest-benchmark micro-benchmarks** (§6.7: O(1) updates, O(m) space) —
   ``pytest benchmarks/bench_update_throughput.py`` times repeated rounds of
@@ -44,9 +47,16 @@ from repro.samplehold.adaptive import AdaptiveSampleAndHold
 from repro.sampling.bottom_k import BottomKSketch
 from repro.streams.frequency import scaled_weibull_counts, zipf_counts
 from repro.streams.generators import exchangeable_stream, iterate_rows
+from repro.windows import SlidingWindowSketch
 
 ROWS = 50_000
 CAPACITY = 256
+
+#: Synthetic stream time for the windowed mode: the whole workload spans
+#: this many seconds, panes are one tenth of it, and the horizon covers
+#: all of it (so windowed totals equal the other modes' totals while the
+#: pane ring still rotates through every pane).
+STREAM_SECONDS = 600.0
 
 RESULTS_PATH = Path(__file__).resolve().parent / "results" / "update_throughput.json"
 
@@ -135,6 +145,22 @@ def run_ingestion_comparison(
             executor.update_batch(chunk)
         return executor
 
+    # Stream time for the windowed mode: row i arrives at t = i * dt.
+    window_spec = f"sliding:{2 * STREAM_SECONDS:g}s/{STREAM_SECONDS / 10:g}s"
+    timestamps = np.linspace(0.0, STREAM_SECONDS, num=rows, endpoint=False)
+    ts_chunks = [
+        timestamps[start : start + batch_rows]
+        for start in range(0, len(timestamps), batch_rows)
+    ]
+
+    def windowed() -> SlidingWindowSketch:
+        sketch = build(
+            "unbiased_space_saving", size=capacity, window=window_spec, seed=seed
+        ).estimator
+        for chunk, ts_chunk in zip(chunks, ts_chunks):
+            sketch.update_batch(chunk, timestamps=ts_chunk)
+        return sketch
+
     sketches: Dict[str, object] = {}
     modes: Dict[str, Dict[str, float]] = {}
     for name, ingest in [
@@ -142,6 +168,7 @@ def run_ingestion_comparison(
         ("batched", batched),
         ("sharded", sharded),
         ("parallel", parallel),
+        ("windowed", windowed),
     ]:
         sketch, elapsed = _timed(ingest)
         sketches[name] = sketch
@@ -185,6 +212,7 @@ def run_ingestion_comparison(
             "batch_rows": batch_rows,
             "num_shards": num_shards,
             "num_workers": modes["parallel"]["num_workers"],
+            "window": window_spec,
         },
         "modes": modes,
         "speedup": {
@@ -196,6 +224,9 @@ def run_ingestion_comparison(
             ),
             "parallel_vs_scalar": round(
                 modes["scalar"]["seconds"] / modes["parallel"]["seconds"], 2
+            ),
+            "windowed_vs_scalar": round(
+                modes["scalar"]["seconds"] / modes["windowed"]["seconds"], 2
             ),
         },
         "equivalence": equivalence,
@@ -260,7 +291,8 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
     print(
         f"speedup: batched {record['speedup']['batched_vs_scalar']}x, "
         f"sharded {record['speedup']['sharded_vs_scalar']}x, "
-        f"parallel {record['speedup']['parallel_vs_scalar']}x vs scalar "
+        f"parallel {record['speedup']['parallel_vs_scalar']}x, "
+        f"windowed {record['speedup']['windowed_vs_scalar']}x vs scalar "
         f"(record written to {args.output})"
     )
     return record
@@ -315,6 +347,20 @@ def test_throughput_session_facade(benchmark, workload):
         workload,
     )
     assert sketch.rows_processed == len(workload)
+
+
+def test_throughput_windowed_batched(benchmark, workload_array):
+    # Timestamped windowed ingestion: the batch is grouped by pane and
+    # each slice rides the pane's own vectorized fast path.
+    timestamps = np.linspace(0.0, 60.0, num=len(workload_array), endpoint=False)
+
+    def ingest():
+        sketch = SlidingWindowSketch(CAPACITY, horizon="120s", pane="6s", seed=0)
+        sketch.update_batch(workload_array, timestamps=timestamps)
+        return sketch
+
+    sketch = benchmark(ingest)
+    assert sketch.rows_processed == len(workload_array)
 
 
 def test_throughput_sharded_batched(benchmark, workload_array):

@@ -1,0 +1,104 @@
+"""Trending dashboard: sliding-window heavy hitters on a bursty stream.
+
+Run with::
+
+    python examples/trending_dashboard.py
+
+The scenario is the canonical production use of a windowed frequent-item
+sketch: a skewed ad-click stream with injected traffic bursts, and a
+dashboard that asks every minute "what is trending over the last five
+minutes?".  The example builds a windowed session through the facade —
+
+    session = repro.build("unbiased_space_saving", size=256,
+                          window="sliding:5m/1m", seed=42)
+
+— feeds it timestamped rows, and renders the top-5 per minute.  Watch the
+burst items rocket up the board while they fire and fall off again as
+their panes expire out of the horizon; an all-time session run alongside
+shows why the un-windowed view cannot answer the question (bursts drown
+in the accumulated background).  A forward-decay session
+(``window="decay:exp:..."``) gives the same recency bias without hard
+expiry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+import repro
+from repro.streams.generators import BurstSpec, timestamped_zipf_stream
+
+DURATION = 15 * 60.0  # a 15-minute stream
+HORIZON = "5m"
+PANE = "1m"
+
+
+def bar(value: float, scale: float, width: int = 30) -> str:
+    filled = int(round(width * min(value / scale, 1.0))) if scale else 0
+    return "#" * filled
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    bursts = [
+        BurstSpec(item="flash_sale", at=3 * 60.0, duration=90.0, rows=2_500),
+        BurstSpec(item="breaking_news", at=8 * 60.0, duration=60.0, rows=3_000),
+    ]
+    rows = timestamped_zipf_stream(
+        60_000,
+        num_items=2_000,
+        exponent=1.05,
+        duration=DURATION,
+        bursts=bursts,
+        rng=rng,
+    )
+    print(
+        f"stream: {len(rows):,} rows over {DURATION/60:.0f} minutes, "
+        f"bursts at t=3m (flash_sale) and t=8m (breaking_news)"
+    )
+
+    trending = repro.build(
+        "unbiased_space_saving", size=256, window=f"sliding:{HORIZON}/{PANE}", seed=42
+    )
+    all_time = repro.build("unbiased_space_saving", size=256, seed=42)
+    decayed = repro.build(
+        "unbiased_space_saving", size=256, window="decay:exp:0.01", seed=42
+    )
+
+    timestamps = [ts for _, _, ts in rows]
+    cursor = 0
+    for minute in range(1, int(DURATION // 60) + 1):
+        stop = bisect_right(timestamps, minute * 60.0)
+        chunk = rows[cursor:stop]
+        trending.extend(chunk)
+        decayed.extend(chunk)
+        all_time.update_batch([item for item, _, _ in chunk])
+        cursor = stop
+        if minute % 2:
+            continue  # render every other minute to keep the output short
+        top = trending.top_k(5).groups
+        window_total = trending.estimator.total_estimate()
+        scale = max(top.values(), default=1.0)
+        print(f"\n== minute {minute:2d} | last {HORIZON} = {window_total:,.0f} rows ==")
+        for item, count in top.items():
+            share = count / window_total if window_total else 0.0
+            print(f"  {str(item):>14} {count:>8,.0f} ({share:5.1%}) {bar(count, scale)}")
+
+    print("\nfinal boards (burst traffic long over):")
+    print(f"  sliding {HORIZON}: {list(trending.top_k(3).groups)}")
+    print(f"  decay exp:0.01 : {list(decayed.top_k(3).groups)}")
+    print(f"  all-time       : {list(all_time.top_k(3).groups)}")
+    print(
+        "\nthe all-time board still ranks the bursts (they never expire); "
+        "the windowed and decayed boards have moved on."
+    )
+
+    # The window collapses to one mergeable sketch for hand-off (§5.5).
+    merged = trending.merged()
+    print(f"\nwindow handed off as one sketch: {merged!r}")
+
+
+if __name__ == "__main__":
+    main()

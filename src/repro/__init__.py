@@ -16,6 +16,8 @@ out by subsystem:
 * :mod:`repro.query` — subset sums, marginals, filters, SQL-ish engine.
 * :mod:`repro.distributed` — partitioning, the sharded executor and
   simulated map-reduce merging.
+* :mod:`repro.windows` — time-windowed streaming: tumbling/sliding pane
+  rings and continuous forward decay behind one windowed-session surface.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
 
 Every sketch ingests rows one at a time via ``update(item, weight)``, in
@@ -59,10 +61,17 @@ from repro.errors import CapabilityError
 from repro.io import load_bytes, load_checkpoint, load_dict, save_checkpoint
 from repro.query import SketchQueryEngine, SubsetSumEstimator
 from repro.version import __version__
+from repro.windows import (
+    DecayedWindowSketch,
+    SlidingWindowSketch,
+    TumblingWindowSketch,
+    parse_window_policy,
+)
 
 __all__ = [
     "AdaptiveUnbiasedSpaceSaving",
     "CapabilityError",
+    "DecayedWindowSketch",
     "DeterministicSpaceSaving",
     "EstimateWithError",
     "ForwardDecaySketch",
@@ -71,7 +80,9 @@ __all__ = [
     "QueryResult",
     "ShardedSketch",
     "SignedUnbiasedSpaceSaving",
+    "SlidingWindowSketch",
     "StreamSession",
+    "TumblingWindowSketch",
     "UnbiasedSpaceSaving",
     "available_specs",
     "build",
@@ -82,6 +93,7 @@ __all__ = [
     "load_dict",
     "merge_many_unbiased",
     "merge_unbiased",
+    "parse_window_policy",
     "save_checkpoint",
     "SketchQueryEngine",
     "SubsetSumEstimator",

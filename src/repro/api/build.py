@@ -22,6 +22,18 @@ estimate for estimate, to the hand-constructed executor it replaces.
 >>> _ = sharded.update_batch(["ad1", "ad2", "ad1", "ad3"])
 >>> sharded.estimate("ad1").estimate
 2.0
+
+Passing ``window=`` produces a time-aware session backed by the
+:mod:`repro.windows` subsystem — tumbling or sliding pane rings, or
+continuous forward decay — with the same session surface plus
+timestamped ingestion:
+
+>>> trending = build("unbiased_space_saving", size=8,
+...                  window="sliding:2m/1m", seed=42)
+>>> _ = trending.update("ad1", timestamp=30.0)
+>>> _ = trending.update("ad2", timestamp=150.0)   # expires the first pane
+>>> sorted(trending.estimates())
+['ad2']
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ def build(
     *,
     size: int,
     backend: str = "inline",
+    window: Optional[str] = None,
     seed: Optional[int] = None,
     num_shards: Optional[int] = None,
     num_workers: Optional[int] = None,
@@ -68,6 +81,15 @@ def build(
         are only available for specs that declare them (currently
         ``unbiased_space_saving``) and raise
         :class:`~repro.errors.CapabilityError` otherwise.
+    window:
+        Optional time policy making the session time-aware:
+        ``"tumbling:<width>"``, ``"sliding:<horizon>/<pane>"`` or
+        ``"decay:exp|poly:<rate>"`` (a
+        :class:`~repro.windows.policy.WindowPolicy` instance also works).
+        Windowed sessions accept ``timestamp=`` on ``update`` /
+        ``timestamps=`` on ``update_batch`` and answer every query over
+        the policy's time scope.  Windows run in-process only
+        (``backend="inline"``).
     seed:
         Base seed.  Inline sessions pass it straight to the sketch;
         scale-out sessions seed shard ``i`` with ``seed + i``, matching
@@ -94,6 +116,26 @@ def build(
     if backend != "parallel" and (num_workers is not None or mp_context is not None):
         raise InvalidParameterError(
             "num_workers/mp_context apply to backend='parallel' only"
+        )
+
+    if window is not None:
+        from repro.windows.policy import parse_window_policy
+
+        if backend != "inline":
+            raise InvalidParameterError(
+                "windowed sessions run in-process; window= requires "
+                "backend='inline' (merge the window via session.merged() "
+                "to hand state to a scale-out pipeline)"
+            )
+        if num_shards is not None:
+            raise InvalidParameterError(
+                "num_shards applies to the sharded/parallel backends only"
+            )
+        policy = parse_window_policy(window)
+        remaining = dict(params)
+        estimator = policy.build_sketch(spec, int(size), seed, remaining)
+        return StreamSession(
+            estimator, spec_name=spec, backend="inline", window=policy.describe()
         )
 
     if backend == "inline":

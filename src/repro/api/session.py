@@ -68,6 +68,7 @@ class StreamSession:
         *,
         spec_name: Optional[str] = None,
         backend: str = "inline",
+        window: Optional[str] = None,
     ) -> None:
         if not callable(getattr(estimator, "update", None)):
             raise CapabilityError(
@@ -77,6 +78,9 @@ class StreamSession:
         self._estimator = estimator
         self._spec_name = spec_name
         self._backend = backend
+        if window is None and callable(getattr(estimator, "window_policy", None)):
+            window = estimator.window_policy().describe()
+        self._window = window
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,6 +99,19 @@ class StreamSession:
     def backend(self) -> str:
         """The execution backend label."""
         return self._backend
+
+    @property
+    def window(self) -> Optional[str]:
+        """The window policy spec string (``None`` for all-time sessions)."""
+        return self._window
+
+    def _require_windowed(self, operation: str) -> None:
+        if self._window is None:
+            raise CapabilityError(
+                f"{operation}: this session is not windowed; build one with "
+                "repro.build(spec, window='tumbling:60s' | 'sliding:5m/30s' "
+                "| 'decay:exp:0.01', ...) to ingest timestamped rows"
+            )
 
     @property
     def capabilities(self) -> FrozenSet[str]:
@@ -122,8 +139,9 @@ class StreamSession:
 
     def __repr__(self) -> str:
         spec = self._spec_name if self._spec_name else type(self._estimator).__name__
+        window = f"window={self._window!r}, " if self._window is not None else ""
         return (
-            f"StreamSession(spec={spec!r}, backend={self._backend!r}, "
+            f"StreamSession(spec={spec!r}, backend={self._backend!r}, {window}"
             f"rows_processed={self.rows_processed}, "
             f"capabilities={sorted(self.capabilities)})"
         )
@@ -137,21 +155,42 @@ class StreamSession:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def update(self, item: Item, weight: float = 1.0) -> "StreamSession":
-        """Ingest one raw row."""
-        self._estimator.update(item, weight)
+    def update(
+        self,
+        item: Item,
+        weight: float = 1.0,
+        timestamp: Optional[float] = None,
+    ) -> "StreamSession":
+        """Ingest one raw row.
+
+        ``timestamp`` (stream-time seconds) is accepted by windowed
+        sessions only; all-time sessions raise
+        :class:`~repro.errors.CapabilityError` when one is passed.
+        """
+        if timestamp is None:
+            self._estimator.update(item, weight)
+        else:
+            self._require_windowed("update(timestamp=...)")
+            self._estimator.update(item, weight, timestamp=timestamp)
         return self
 
     def update_batch(
         self,
         items: Iterable[Item],
         weights: Optional[Iterable[float]] = None,
+        timestamps: Optional[Iterable[float]] = None,
     ) -> "StreamSession":
         """Ingest a batch, using the estimator's fast path when it has one.
 
         Estimators without ``update_batch`` fall back to a scalar loop, so
         every session accepts batches regardless of backend or class.
+        ``timestamps`` (aligned with ``items``) routes each row to its
+        window on windowed sessions, and is rejected elsewhere.
         """
+        if timestamps is not None:
+            self._require_windowed("update_batch(timestamps=...)")
+            self._estimator.update_batch(items, weights, timestamps=timestamps)
+            return self
         batch = getattr(self._estimator, "update_batch", None)
         if callable(batch):
             batch(items, weights)
@@ -171,8 +210,14 @@ class StreamSession:
         itself a number (so composite numeric keys stay keys — see
         :func:`repro.core.batching.iter_weighted_rows`); weighted streams
         of *numeric* items should use :meth:`update` /
-        :meth:`update_batch`, which take weights explicitly.
+        :meth:`update_batch`, which take weights explicitly.  Windowed
+        sessions additionally accept the ``(item, weight, timestamp)``
+        triples emitted by the timestamped generators in
+        :mod:`repro.streams.generators`.
         """
+        if self._window is not None:
+            self._estimator.extend(rows)
+            return self
         for item, weight in iter_weighted_rows(rows):
             self._estimator.update(item, weight)
         return self
@@ -261,10 +306,12 @@ class StreamSession:
     # Ensemble and lifecycle operations
     # ------------------------------------------------------------------
     def merged(self, capacity: Optional[int] = None, *, seed: Optional[int] = None):
-        """Collapse a scale-out backend into one inline sketch.
+        """Collapse the session's state into one inline sketch.
 
-        Only meaningful for the sharded/parallel backends; inline sessions
-        raise :class:`~repro.errors.CapabilityError`.
+        Meaningful for the sharded/parallel backends (merge the shards)
+        and for windowed sessions (merge the in-horizon panes — the §5.5
+        hand-off); plain inline sessions have no ``merged()`` reduction
+        and raise :class:`~repro.errors.CapabilityError`.
         """
         merge = getattr(self._estimator, "merged", None)
         if not callable(merge):

@@ -24,7 +24,6 @@ import itertools
 import random
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
 from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.core.stream_summary import StreamSummary
@@ -321,13 +320,6 @@ class FrequentItemSketch(abc.ABC):
         for item, weight in iter_weighted_rows(rows):
             self.update(item, weight)
         return self
-
-    def update_stream(
-        self, rows: Iterable[Union[Item, Tuple[Item, float]]]
-    ) -> "FrequentItemSketch":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated(f"{type(self).__name__}.update_stream()", "extend()")
-        return self.extend(rows)
 
     def update_batch(
         self,

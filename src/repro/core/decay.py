@@ -21,7 +21,6 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Tuple
 
-from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.core.variance import EstimateWithError
@@ -142,11 +141,6 @@ class ForwardDecaySketch:
                 item, timestamp, weight = row
                 self.update(item, timestamp, weight)
         return self
-
-    def update_stream(self, rows) -> "ForwardDecaySketch":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("ForwardDecaySketch.update_stream()", "extend()")
-        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Queries

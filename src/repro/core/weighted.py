@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
-from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.core.variance import EstimateWithError
@@ -96,11 +95,6 @@ class SignedUnbiasedSpaceSaving:
         for item, weight in rows:
             self.update(item, weight)
         return self
-
-    def update_stream(self, rows: Iterable[Tuple[Item, float]]) -> "SignedUnbiasedSpaceSaving":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("SignedUnbiasedSpaceSaving.update_stream()", "extend()")
-        return self.extend(rows)
 
     def estimate(self, item: Item) -> float:
         """Unbiased estimate of the net count of ``item``."""

@@ -27,6 +27,7 @@ from repro.evaluation.figures_pathological import (
     TwoHalfStreamExperiment,
     VarianceAccuracyExperiment,
 )
+from repro.evaluation.figures_windows import WindowedTrendingExperiment
 
 __all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]
 
@@ -67,6 +68,8 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "fig8_ci_coverage": _fig8,
     "fig9_stddev_accuracy": _fig9,
     "fig10_deterministic_vs_unbiased": _fig10,
+    # Beyond the paper: the windows subsystem's trending workload.
+    "windowed_trending": WindowedTrendingExperiment,
 }
 
 

@@ -23,7 +23,6 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro._compat import warn_deprecated
 from repro._typing import Item
 from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.errors import CapabilityError, InvalidParameterError
@@ -178,11 +177,6 @@ class CountSketch(SerializableSketch):
             self.update(item, weight)
         return self
 
-    def update_stream(self, rows) -> "CountSketch":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("CountSketch.update_stream()", "extend()")
-        return self.extend(rows)
-
     def _track(self, item: Item, estimate: float) -> None:
         """Maintain the tracked top-k heap after an update touching ``item``."""
         if item in self._tracked:
@@ -304,13 +298,6 @@ class CountSketch(SerializableSketch):
             raise InvalidParameterError("k must be non-negative")
         ranked = sorted(self.estimates().items(), key=lambda kv: (-kv[1], repr(kv[0])))
         return ranked[:k]
-
-    def estimates_for(self, items) -> Dict[Item, float]:
-        """Deprecated alias of ``estimates(candidates=items)`` (one release)."""
-        warn_deprecated(
-            "CountSketch.estimates_for()", "CountSketch.estimates(candidates=...)"
-        )
-        return self.estimates(candidates=items)
 
     def __capabilities__(self) -> set:
         """Refine the structural capabilities by configuration.

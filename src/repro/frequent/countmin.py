@@ -24,7 +24,6 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro._compat import warn_deprecated
 from repro._typing import Item
 from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.errors import CapabilityError, InvalidParameterError, UnsupportedUpdateError
@@ -226,11 +225,6 @@ class CountMinSketch(SerializableSketch):
         for item, weight in iter_weighted_rows(rows):
             self.update(item, weight)
         return self
-
-    def update_stream(self, rows) -> "CountMinSketch":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("CountMinSketch.update_stream()", "extend()")
-        return self.extend(rows)
 
     def _track(self, item: Item) -> None:
         """Maintain the top-k heap after an update touching ``item``."""

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro._compat import warn_deprecated
 from repro._typing import Item
 from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
 from repro.errors import InvalidParameterError
@@ -118,11 +117,6 @@ class HierarchicalHeavyHitters:
             else:
                 self.update(row)
         return self
-
-    def update_stream(self, rows) -> "HierarchicalHeavyHitters":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("HierarchicalHeavyHitters.update_stream()", "extend()")
-        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Queries

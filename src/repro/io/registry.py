@@ -37,6 +37,9 @@ _SKETCH_MODULES: Dict[str, str] = {
     "ReservoirSampler": "repro.sampling.reservoir",
     "ShardedSketch": "repro.distributed.sharded",
     "ParallelSketchExecutor": "repro.distributed.parallel",
+    "TumblingWindowSketch": "repro.windows.windowed",
+    "SlidingWindowSketch": "repro.windows.windowed",
+    "DecayedWindowSketch": "repro.windows.decayed",
 }
 
 

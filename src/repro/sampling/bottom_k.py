@@ -25,7 +25,6 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro._compat import warn_deprecated
 from repro._typing import Item, ItemPredicate
 from repro.core.batching import collapse_batch, iter_weighted_rows
 from repro.core.variance import EstimateWithError
@@ -191,11 +190,6 @@ class BottomKSketch(SerializableSketch):
         for item, weight in iter_weighted_rows(rows):
             self.update(item, weight)
         return self
-
-    def update_stream(self, rows) -> "BottomKSketch":
-        """Deprecated alias of :meth:`extend` (kept for one release)."""
-        warn_deprecated("BottomKSketch.update_stream()", "extend()")
-        return self.extend(rows)
 
     # ------------------------------------------------------------------
     # Estimation

@@ -20,6 +20,7 @@ from repro.streams.frequency import (
     zipf_counts,
 )
 from repro.streams.generators import (
+    BurstSpec,
     concatenate_streams,
     deterministic_round_robin_stream,
     exchangeable_stream,
@@ -27,6 +28,9 @@ from repro.streams.generators import (
     iterate_rows,
     rows_from_counts,
     stream_length,
+    timestamp_rows,
+    timestamped_adclick_stream,
+    timestamped_zipf_stream,
 )
 from repro.streams.pathological import (
     adversarial_theorem11_stream,
@@ -46,6 +50,7 @@ __all__ = [
     "uniform_counts",
     "weibull_counts",
     "zipf_counts",
+    "BurstSpec",
     "concatenate_streams",
     "deterministic_round_robin_stream",
     "exchangeable_stream",
@@ -53,6 +58,9 @@ __all__ = [
     "iterate_rows",
     "rows_from_counts",
     "stream_length",
+    "timestamp_rows",
+    "timestamped_adclick_stream",
+    "timestamped_zipf_stream",
     "adversarial_theorem11_stream",
     "all_distinct_stream",
     "periodic_burst_stream",

@@ -13,7 +13,8 @@ are integers, falling back to Python lists otherwise.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Union
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -27,9 +28,17 @@ __all__ = [
     "iid_stream",
     "deterministic_round_robin_stream",
     "concatenate_streams",
+    "BurstSpec",
+    "timestamp_rows",
+    "timestamped_zipf_stream",
+    "timestamped_adclick_stream",
 ]
 
 Stream = Union[np.ndarray, List[Item]]
+
+#: One timestamped row: ``(item, weight, timestamp)`` — the shape consumed
+#: by windowed sessions' ``extend`` (see :mod:`repro.windows`).
+TimestampedRow = Tuple[Item, float, float]
 
 
 def _expand_counts(model: FrequencyModel) -> Stream:
@@ -155,6 +164,127 @@ def concatenate_streams(*streams: Stream) -> Stream:
     for stream in streams:
         combined.extend(list(stream))
     return combined
+
+
+# ----------------------------------------------------------------------
+# Timestamped streams (for the repro.windows subsystem)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BurstSpec:
+    """A traffic burst injected into a timestamped stream.
+
+    ``rows`` extra unit-weight rows for ``item`` arrive with timestamps
+    uniform over ``[at, at + duration)`` — the "suddenly trending" shape
+    windowed heavy-hitter queries exist to catch.
+    """
+
+    item: Item
+    at: float
+    duration: float
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise InvalidParameterError("burst duration must be positive")
+        if self.rows < 1:
+            raise InvalidParameterError("a burst must inject at least one row")
+
+
+def timestamp_rows(
+    stream: Iterable[Item],
+    *,
+    start: float = 0.0,
+    duration: float = 60.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TimestampedRow]:
+    """Attach sorted uniform arrival times to an existing item stream.
+
+    Each row receives a timestamp drawn uniformly from
+    ``[start, start + duration)``; timestamps are sorted and assigned in
+    stream order, so the result is the same stream with a stationary
+    (Poisson-like) arrival process layered on top.
+    """
+    if duration <= 0:
+        raise InvalidParameterError("duration must be positive")
+    rows = list(iterate_rows(stream))
+    rng = rng or np.random.default_rng()
+    times = np.sort(rng.uniform(start, start + duration, size=len(rows)))
+    return [(item, 1.0, float(ts)) for item, ts in zip(rows, times)]
+
+
+def _splice_bursts(
+    rows: List[TimestampedRow],
+    bursts: Iterable[BurstSpec],
+    rng: np.random.Generator,
+) -> List[TimestampedRow]:
+    """Merge burst rows into a timestamped stream, re-sorted by arrival."""
+    for burst in bursts:
+        burst_times = np.sort(
+            rng.uniform(burst.at, burst.at + burst.duration, size=burst.rows)
+        )
+        rows.extend((burst.item, 1.0, float(ts)) for ts in burst_times)
+    rows.sort(key=lambda row: row[2])
+    return rows
+
+
+def timestamped_zipf_stream(
+    num_rows: int,
+    *,
+    num_items: int,
+    exponent: float = 1.1,
+    start: float = 0.0,
+    duration: float = 60.0,
+    bursts: Iterable[BurstSpec] = (),
+    rng: Optional[np.random.Generator] = None,
+) -> List[TimestampedRow]:
+    """A timestamped Zipf stream with optional injected bursts.
+
+    The background traffic is ``num_rows`` i.i.d. Zipf(``exponent``) draws
+    arriving uniformly over ``[start, start + duration)``; each
+    :class:`BurstSpec` then splices extra rows for its item into the burst
+    interval.  The result is sorted by timestamp, ready for
+    ``session.extend(rows)`` or (column-split) ``update_batch``.
+
+    >>> rows = timestamped_zipf_stream(
+    ...     1000, num_items=50, duration=100.0,
+    ...     bursts=[BurstSpec(item=999, at=40.0, duration=10.0, rows=200)],
+    ...     rng=np.random.default_rng(0))
+    >>> len(rows)
+    1200
+    >>> all(40.0 <= ts < 50.0 for item, _, ts in rows if item == 999)
+    True
+    """
+    if num_rows < 0:
+        raise InvalidParameterError("num_rows must be non-negative")
+    rng = rng or np.random.default_rng()
+    from repro.streams.frequency import zipf_counts
+
+    model = zipf_counts(num_items=num_items, exponent=exponent, total=max(num_rows, 1))
+    background = iid_stream(model, num_rows, rng=rng)
+    rows = timestamp_rows(background, start=start, duration=duration, rng=rng)
+    return _splice_bursts(rows, bursts, rng)
+
+
+def timestamped_adclick_stream(
+    dataset,
+    *,
+    start: float = 0.0,
+    duration: float = 60.0,
+    bursts: Iterable[BurstSpec] = (),
+    rng: Optional[np.random.Generator] = None,
+) -> List[TimestampedRow]:
+    """Timestamped ad impressions from an :class:`~repro.streams.adclick.AdClickDataset`.
+
+    One ``(feature_tuple, 1.0, timestamp)`` row per impression, arrivals
+    uniform over ``[start, start + duration)``, plus optional bursts
+    (e.g. a campaign flight: a specific feature tuple spiking for a few
+    seconds).
+    """
+    rng = rng or np.random.default_rng()
+    rows = timestamp_rows(
+        dataset.impressions(), start=start, duration=duration, rng=rng
+    )
+    return _splice_bursts(rows, bursts, rng)
 
 
 def stream_length(stream: Stream) -> int:

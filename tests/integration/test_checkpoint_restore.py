@@ -107,6 +107,54 @@ def test_sharded_ensemble_checkpoint_on_epoch_stream(tmp_path, epoch_setup):
     )
 
 
+def test_windowed_session_checkpoint_mid_rotation(tmp_path):
+    # A windowed session is checkpointed *mid-rotation* — partway through a
+    # pane, with older panes still in the horizon and some already expired —
+    # then restored and fed the rest of the stream.  It must match an
+    # uninterrupted run pane for pane: same live panes, same estimates,
+    # same in-horizon totals, and the same merged hand-off sketch.
+    import repro
+
+    rng = np.random.default_rng(SEED)
+    items = [int(value) for value in rng.integers(0, 60, size=4_000)]
+    times = sorted(float(value) for value in rng.uniform(0.0, 400.0, size=4_000))
+    rows = list(zip(items, times))
+    # Cut inside a pane (not on a boundary), after some panes have expired.
+    cut = next(index for index, (_, ts) in enumerate(rows) if ts > 245.0)
+
+    def build_session():
+        return repro.build(
+            "unbiased_space_saving", size=48, window="sliding:2m/30s", seed=SEED
+        )
+
+    uninterrupted = build_session()
+    for item, ts in rows:
+        uninterrupted.update(item, timestamp=ts)
+
+    first_process = build_session()
+    for item, ts in rows[:cut]:
+        first_process.update(item, timestamp=ts)
+    assert first_process.estimator.expired_panes > 0     # rotation happened
+    checkpoint = tmp_path / "window.ckpt"
+    first_process.save_checkpoint(checkpoint)
+    del first_process  # the "crash"
+
+    resumed = repro.StreamSession(repro.load_checkpoint(checkpoint))
+    assert resumed.window == "sliding:2m/30s"
+    for item, ts in rows[cut:]:
+        resumed.update(item, timestamp=ts)
+
+    final = uninterrupted.estimator
+    restored = resumed.estimator
+    assert [index for index, _ in restored.window_panes()] == [
+        index for index, _ in final.window_panes()
+    ]
+    assert restored.estimates() == final.estimates()
+    assert restored.total_estimate() == final.total_estimate()
+    assert restored.rows_processed == final.rows_processed
+    assert restored.merged(seed=0).estimates() == final.merged(seed=0).estimates()
+
+
 def test_executor_checkpoint_crosses_process_generations(tmp_path, epoch_setup):
     # The executor that resumes from the checkpoint uses a *real* worker
     # pool while the original ran inline — the checkpoint carries shard

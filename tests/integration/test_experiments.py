@@ -13,9 +13,10 @@ from repro.evaluation.reporting import format_summary, format_table
 class TestRegistry:
     def test_all_figures_registered(self):
         ids = list_experiments()
-        assert len(ids) == 10
+        assert len(ids) == 11
         for figure in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
             assert any(identifier.startswith(f"fig{figure}_") for identifier in ids)
+        assert "windowed_trending" in ids
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(InvalidParameterError):
@@ -104,6 +105,31 @@ class TestAdClickExperiment:
             <= 3.0 * summary["one_way/priority_sampling"] + 0.05
         )
         assert result.rows()
+
+
+class TestWindowedTrendingExperiment:
+    def test_bursts_detected_and_uss_error_competitive(self):
+        result = get_experiment(
+            "windowed_trending",
+            num_rows=8_000,
+            num_items=500,
+            capacity=100,
+            num_trials=2,
+            seed=0,
+        ).run()
+        summary = result.summary()
+        assert summary["windowed_uss/detection_rate"] >= 0.9
+        # Unbiased panes should not lose to Count-Min's collision bias.
+        assert (
+            summary["windowed_uss/mean_relative_error"]
+            <= summary["windowed_countmin/mean_relative_error"] + 0.02
+        )
+        rows = result.rows()
+        assert len(rows) == 2 * 2 * 4  # trials x methods x bursts
+        assert {row["method"] for row in rows} == {
+            "windowed_uss",
+            "windowed_countmin",
+        }
 
 
 class TestPathologicalExperiments:

@@ -287,21 +287,12 @@ def test_ensemble_reprs():
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims (one release): still work, but warn
+# The one-release deprecation shims are gone: the old spellings now fail
+# fast with AttributeError rather than silently diverging.
 # ----------------------------------------------------------------------
-def test_update_stream_shim_warns_and_delegates():
-    sketch = UnbiasedSpaceSaving(capacity=8, seed=0)
-    with pytest.deprecated_call():
-        sketch.update_stream(["a", "b", "a"])
-    assert sketch.rows_processed == 3
-
-
-def test_estimates_for_shim_warns_and_delegates():
-    sketch = CountSketch(width=32, depth=3, seed=0)
-    sketch.update("x")
-    with pytest.deprecated_call():
-        legacy = sketch.estimates_for(["x"])
-    assert legacy == sketch.estimates(candidates=["x"])
+def test_deprecated_shims_removed():
+    assert not hasattr(UnbiasedSpaceSaving(capacity=8, seed=0), "update_stream")
+    assert not hasattr(CountSketch(width=32, depth=3, seed=0), "estimates_for")
 
 
 # ----------------------------------------------------------------------

@@ -114,10 +114,10 @@ class TestCountSketch:
         with pytest.raises(InvalidParameterError):
             CountSketch(width=32, seed=0).inner_product(CountSketch(width=64, seed=0))
 
-    def test_estimates_for_explicit_candidates(self):
+    def test_estimates_with_explicit_candidates(self):
         sketch = CountSketch(width=64, depth=5, seed=3)
         sketch.extend(["x"] * 5 + ["y"] * 2)
-        estimates = sketch.estimates_for(["x", "y", "z"])
+        estimates = sketch.estimates(candidates=["x", "y", "z"])
         assert set(estimates) == {"x", "y", "z"}
 
     def test_row_estimates_length(self):
@@ -184,7 +184,7 @@ class TestHierarchicalHeavyHitters:
         assert rolled[("a",)] == pytest.approx(2.0)
         assert rolled[("b",)] == pytest.approx(1.0)
 
-    def test_update_stream_with_weights(self):
+    def test_extend_with_weights(self):
         hhh = HierarchicalHeavyHitters(depth=2, capacity=8, seed=4)
         hhh.extend([(("a", "x"), 2.0), ("b", "y")])
         assert hhh.rows_processed == 2

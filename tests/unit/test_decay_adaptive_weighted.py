@@ -81,7 +81,7 @@ class TestForwardDecaySketch:
         with_error = sketch.decayed_subset_sum_with_error(lambda item: True)
         assert with_error.estimate == pytest.approx(total)
 
-    def test_update_stream_accepts_two_and_three_tuples(self):
+    def test_extend_accepts_two_and_three_tuples(self):
         sketch = ForwardDecaySketch(capacity=4, decay=exponential_decay(0.1))
         sketch.extend([("a", 1.0), ("b", 2.0, 3.0)])
         assert sketch.underlying_sketch.rows_processed == 2
@@ -165,7 +165,7 @@ class TestSignedUnbiasedSpaceSaving:
         with pytest.raises(InvalidParameterError):
             SignedUnbiasedSpaceSaving(capacity=4).update("a", 0)
 
-    def test_update_stream_and_subset_sum(self):
+    def test_extend_and_subset_sum(self):
         sketch = SignedUnbiasedSpaceSaving(capacity=8, seed=1)
         sketch.extend([("a", 2), ("b", 4), ("a", -1), ("c", -2)])
         assert sketch.subset_sum(lambda item: item in {"a", "b"}) == pytest.approx(5.0)

@@ -208,13 +208,13 @@ class TestWeightedUpdates:
             total += weight
         assert sketch.total_estimate() == pytest.approx(total)
 
-    def test_update_stream_accepts_weighted_pairs(self):
+    def test_extend_accepts_weighted_pairs(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=15)
         sketch.extend([("a", 2), ("b", 3)])
         assert sketch.estimate("a") == 2.0
         assert sketch.estimate("b") == 3.0
 
-    def test_update_stream_keeps_tuple_items_as_keys(self):
+    def test_extend_keeps_tuple_items_as_keys(self):
         sketch = UnbiasedSpaceSaving(capacity=5, seed=16)
         sketch.extend([("user1", "ad1"), ("user1", "ad1"), ("user2", "ad2")])
         assert sketch.estimate(("user1", "ad1")) == 2.0

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Documentation checker: doctest every docs page, verify every link.
+
+Run from the repository root (the CI ``docs`` job does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two gates, both hard failures:
+
+1. **Doctests** — every ``>>>`` example in ``docs/**/*.md`` is executed
+   with :func:`doctest.testfile` (one shared namespace per page, ELLIPSIS
+   enabled), so the documented behavior is the actual behavior.
+2. **Links** — every relative markdown link in ``docs/**/*.md`` and the
+   top-level ``README.md`` must resolve to an existing file, and anchor
+   fragments (``page.md#section``) must match a heading in the target
+   (GitHub's slug rules: lowercase, punctuation stripped, spaces to
+   hyphens).
+
+The tier-1 suite runs the same checks through
+``tests/unit/test_docs.py``, so broken docs fail locally before they
+fail in CI.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: Markdown inline links: [text](target) — images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction so example
+#: snippets never register as links.
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_pages() -> List[Path]:
+    """Every markdown page under docs/, sorted for stable output."""
+    return sorted(DOCS_DIR.rglob("*.md"))
+
+
+def link_pages() -> List[Path]:
+    """Pages whose links are validated: the docs tree plus the README."""
+    return doc_pages() + [REPO_ROOT / "README.md"]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, strip punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s", "-", slug)
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """All anchor slugs a markdown file defines."""
+    return {github_slug(match) for match in _HEADING_RE.findall(path.read_text())}
+
+
+def run_doctests() -> List[str]:
+    """Doctest every docs page; return one failure message per bad page."""
+    failures = []
+    for path in doc_pages():
+        result = doctest.testfile(
+            str(path),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS,
+            verbose=False,
+        )
+        status = "ok" if result.failed == 0 else "FAILED"
+        print(
+            f"doctest {path.relative_to(REPO_ROOT)}: "
+            f"{result.attempted} examples, {result.failed} failed [{status}]"
+        )
+        if result.failed:
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}: {result.failed} doctest failure(s)"
+            )
+    return failures
+
+
+def check_links() -> List[str]:
+    """Validate intra-repo links and anchors; return failure messages."""
+    failures = []
+    slug_cache: Dict[Path, Set[str]] = {}
+    for page in link_pages():
+        text = _FENCE_RE.sub("", page.read_text())
+        for target in _LINK_RE.findall(text):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (
+                page if not path_part else (page.parent / path_part).resolve()
+            )
+            location = f"{page.relative_to(REPO_ROOT)} -> {target}"
+            if not resolved.exists():
+                failures.append(f"{location}: file does not exist")
+                continue
+            if anchor:
+                if resolved.suffix != ".md":
+                    failures.append(f"{location}: anchor on a non-markdown file")
+                    continue
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = heading_slugs(resolved)
+                if anchor not in slug_cache[resolved]:
+                    failures.append(
+                        f"{location}: no heading with anchor #{anchor} "
+                        f"(known: {sorted(slug_cache[resolved])})"
+                    )
+    checked = len(link_pages())
+    print(f"links: {checked} pages checked, {len(failures)} broken")
+    return failures
+
+
+def main() -> int:
+    failures = run_doctests() + check_links()
+    if failures:
+        print("\ndocumentation check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("documentation check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
