@@ -6,17 +6,24 @@ Two layers live in this file:
 
       PYTHONPATH=src python benchmarks/bench_update_throughput.py
 
-  to stream a 1M-row Zipf workload through Unbiased Space Saving five
+  to stream a 1M-row Zipf workload through Unbiased Space Saving six
   ways — the scalar ``update`` loop, the vectorized ``update_batch`` fast
   path, the hash-partitioned in-process ``ShardedSketch`` executor, the
   multiprocess ``ParallelSketchExecutor`` (serialized shard states
-  fanned out to a worker pool), and the timestamped *windowed* path (a
-  ``SlidingWindowSketch`` routing every batch to its pane) — and emit a
-  JSON perf record (printed, and written to
+  fanned out to a worker pool), the timestamped *windowed* path (a
+  ``SlidingWindowSketch`` routing every batch to its pane), and the
+  *served* path (a ``repro.serve`` ``SketchServer`` fed by four
+  concurrent producers through its bounded ingest queue, with
+  query-under-load latency sampled alongside) — and emit a JSON perf
+  record (printed, and written to
   ``benchmarks/results/update_throughput.json``).  The record includes
   an equivalence section verifying that all modes preserve the exact
   stream total and agree on the heavy hitters (the windowed mode's
   horizon is sized to cover the whole stream so its totals compare).
+  ``--modes`` selects a subset (CI's bench-smoke and perf-regression
+  jobs run explicit mode lists); ``tools/check_perf.py`` compares the
+  emitted record against the committed baseline in
+  ``benchmarks/baselines/``.
 
 * **pytest-benchmark micro-benchmarks** (§6.7: O(1) updates, O(m) space) —
   ``pytest benchmarks/bench_update_throughput.py`` times repeated rounds of
@@ -28,10 +35,11 @@ Two layers live in this file:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 import pytest
@@ -45,12 +53,17 @@ from repro.frequent.countmin import CountMinSketch
 from repro.frequent.misra_gries import MisraGriesSketch
 from repro.samplehold.adaptive import AdaptiveSampleAndHold
 from repro.sampling.bottom_k import BottomKSketch
+from repro.serve import SketchServer
+from repro.serve.load import measure_query_latency, run_producers
 from repro.streams.frequency import scaled_weibull_counts, zipf_counts
-from repro.streams.generators import exchangeable_stream, iterate_rows
+from repro.streams.generators import chunk_stream, exchangeable_stream, iterate_rows
 from repro.windows import SlidingWindowSketch
 
 ROWS = 50_000
 CAPACITY = 256
+
+#: Every ingestion mode the comparison knows, in report order.
+ALL_MODES = ("scalar", "batched", "sharded", "parallel", "windowed", "serve")
 
 #: Synthetic stream time for the windowed mode: the whole workload spans
 #: this many seconds, panes are one tenth of it, and the horizon covers
@@ -83,6 +96,59 @@ def _timed(ingest: Callable[[], object]) -> "tuple[object, float]":
     return sketch, elapsed
 
 
+def run_serve_mode(
+    chunks: List[np.ndarray],
+    *,
+    capacity: int,
+    seed: int,
+    num_producers: int = 4,
+    queue_maxsize: int = 16,
+    coalesce: int = 4,
+):
+    """Drive the served ingest path: concurrent producers + queries under load.
+
+    Returns ``(estimator, seconds, serve_stats)`` where ``seconds`` spans
+    first enqueue to fully drained queue (end-to-end applied throughput)
+    and ``serve_stats`` carries producer and query-latency detail.  The
+    latency sampler only runs between synchronous batch applies (the
+    writer yields at group boundaries), so ``coalesce`` is kept moderate
+    here to bound apply size and give the sampler real boundaries; the
+    reported ``queries`` count says how many samples the percentiles
+    rest on.
+    """
+
+    async def drive():
+        async with SketchServer(
+            queue_maxsize=queue_maxsize, coalesce=coalesce
+        ) as server:
+            client = server.client
+            await client.create(
+                "bench", "unbiased_space_saving", size=capacity, seed=seed
+            )
+            stop = asyncio.Event()
+            # A tight interval so the sampler fires at every apply
+            # boundary (the only points where reads can run at all).
+            latency_task = asyncio.get_running_loop().create_task(
+                measure_query_latency(client, "bench", stop=stop, interval=0.0005)
+            )
+            report = await run_producers(
+                client, "bench", chunks, num_producers=num_producers
+            )
+            stop.set()
+            latency = await latency_task
+            served = server.registry.get("bench")
+            stats = {
+                "num_producers": report.num_producers,
+                "batches": report.batches,
+                "batches_coalesced": served.stats.batches_coalesced,
+                "max_queue_depth": served.stats.max_queue_depth,
+                "query_under_load": latency.as_dict(),
+            }
+            return served.session.estimator, report.seconds, stats
+
+    return asyncio.run(drive())
+
+
 def run_ingestion_comparison(
     rows: int = 1_000_000,
     *,
@@ -92,16 +158,20 @@ def run_ingestion_comparison(
     batch_rows: int = 100_000,
     num_shards: int = 8,
     num_workers: Optional[int] = None,
+    num_producers: int = 4,
     seed: int = 0,
+    modes: Sequence[str] = ALL_MODES,
 ) -> Dict[str, object]:
-    """Time the four ingestion modes on one workload and build a JSON record."""
+    """Time the selected ingestion modes on one workload; build a JSON record."""
+    unknown = sorted(set(modes) - set(ALL_MODES))
+    if unknown:
+        raise ValueError(f"unknown modes {unknown}; expected from {ALL_MODES}")
+    modes = [name for name in ALL_MODES if name in set(modes)]
     stream = make_zipf_rows(rows, num_items=num_items, exponent=exponent, seed=seed)
     # Count rounding in the Zipf model can nudge the realized row count.
     rows = int(len(stream))
     scalar_rows = [int(value) for value in stream]
-    chunks = [
-        stream[start : start + batch_rows] for start in range(0, len(stream), batch_rows)
-    ]
+    chunks = chunk_stream(stream, batch_rows)
 
     # All four modes are constructed through the repro.build facade; the
     # hot loops run on the unwrapped estimator so the record measures
@@ -148,10 +218,7 @@ def run_ingestion_comparison(
     # Stream time for the windowed mode: row i arrives at t = i * dt.
     window_spec = f"sliding:{2 * STREAM_SECONDS:g}s/{STREAM_SECONDS / 10:g}s"
     timestamps = np.linspace(0.0, STREAM_SECONDS, num=rows, endpoint=False)
-    ts_chunks = [
-        timestamps[start : start + batch_rows]
-        for start in range(0, len(timestamps), batch_rows)
-    ]
+    ts_chunks = chunk_stream(timestamps, batch_rows)
 
     def windowed() -> SlidingWindowSketch:
         sketch = build(
@@ -161,24 +228,38 @@ def run_ingestion_comparison(
             sketch.update_batch(chunk, timestamps=ts_chunk)
         return sketch
 
+    ingest_fns: Dict[str, Callable[[], object]] = {
+        "scalar": scalar,
+        "batched": batched,
+        "sharded": sharded,
+        "parallel": parallel,
+        "windowed": windowed,
+    }
+
     sketches: Dict[str, object] = {}
-    modes: Dict[str, Dict[str, float]] = {}
-    for name, ingest in [
-        ("scalar", scalar),
-        ("batched", batched),
-        ("sharded", sharded),
-        ("parallel", parallel),
-        ("windowed", windowed),
-    ]:
-        sketch, elapsed = _timed(ingest)
+    mode_stats: Dict[str, Dict[str, object]] = {}
+    for name in modes:
+        if name == "serve":
+            sketch, elapsed, serve_stats = run_serve_mode(
+                chunks,
+                capacity=capacity,
+                seed=seed,
+                num_producers=num_producers,
+            )
+        else:
+            sketch, elapsed = _timed(ingest_fns[name])
+            serve_stats = None
         sketches[name] = sketch
-        modes[name] = {
+        mode_stats[name] = {
             "seconds": round(elapsed, 4),
             "rows_per_sec": round(rows / elapsed, 1),
         }
-    executor = sketches["parallel"]
-    modes["parallel"]["num_workers"] = executor.num_workers
-    executor.close()
+        if serve_stats is not None:
+            mode_stats[name].update(serve_stats)
+    if "parallel" in sketches:
+        executor = sketches["parallel"]
+        mode_stats["parallel"]["num_workers"] = executor.num_workers
+        executor.close()
 
     top_true = {item for item, _ in zipf_top_k(num_items, exponent, rows, 10)}
     equivalence = {
@@ -197,6 +278,13 @@ def run_ingestion_comparison(
             for name, sketch in sketches.items()
         },
     }
+    speedup = {
+        f"{name}_vs_scalar": round(
+            mode_stats["scalar"]["seconds"] / mode_stats[name]["seconds"], 2
+        )
+        for name in modes
+        if name != "scalar" and "scalar" in mode_stats
+    }
     record = {
         "benchmark": "update_throughput",
         "workload": {
@@ -211,24 +299,12 @@ def run_ingestion_comparison(
             "capacity": capacity,
             "batch_rows": batch_rows,
             "num_shards": num_shards,
-            "num_workers": modes["parallel"]["num_workers"],
+            "num_workers": mode_stats.get("parallel", {}).get("num_workers"),
+            "num_producers": num_producers,
             "window": window_spec,
         },
-        "modes": modes,
-        "speedup": {
-            "batched_vs_scalar": round(
-                modes["scalar"]["seconds"] / modes["batched"]["seconds"], 2
-            ),
-            "sharded_vs_scalar": round(
-                modes["scalar"]["seconds"] / modes["sharded"]["seconds"], 2
-            ),
-            "parallel_vs_scalar": round(
-                modes["scalar"]["seconds"] / modes["parallel"]["seconds"], 2
-            ),
-            "windowed_vs_scalar": round(
-                modes["scalar"]["seconds"] / modes["windowed"]["seconds"], 2
-            ),
-        },
+        "modes": mode_stats,
+        "speedup": speedup,
         "equivalence": equivalence,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
@@ -262,6 +338,19 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         help="pool size for the parallel mode (default: min(shards, cpus); "
         "below 2 runs the wire path inline)",
     )
+    parser.add_argument(
+        "--num-producers",
+        type=int,
+        default=4,
+        help="concurrent producers feeding the serve mode's ingest queue",
+    )
+    parser.add_argument(
+        "--modes",
+        default="all",
+        help="comma-separated subset of "
+        f"{','.join(ALL_MODES)} (or 'all'); speedups report vs scalar "
+        "when it is included",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--output",
@@ -270,6 +359,11 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         help="where to write the JSON perf record",
     )
     args = parser.parse_args(argv)
+    modes = (
+        ALL_MODES
+        if args.modes.strip().lower() == "all"
+        else tuple(name.strip() for name in args.modes.split(",") if name.strip())
+    )
     record = run_ingestion_comparison(
         args.rows,
         num_items=args.num_items,
@@ -278,7 +372,9 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         batch_rows=args.batch_rows,
         num_shards=args.num_shards,
         num_workers=args.num_workers,
+        num_producers=args.num_producers,
         seed=args.seed,
+        modes=modes,
     )
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -288,13 +384,13 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
             f"{mode:>8}: {stats['seconds']:8.3f}s  "
             f"{stats['rows_per_sec']:>12,.0f} rows/s"
         )
-    print(
-        f"speedup: batched {record['speedup']['batched_vs_scalar']}x, "
-        f"sharded {record['speedup']['sharded_vs_scalar']}x, "
-        f"parallel {record['speedup']['parallel_vs_scalar']}x, "
-        f"windowed {record['speedup']['windowed_vs_scalar']}x vs scalar "
-        f"(record written to {args.output})"
-    )
+    if record["speedup"]:
+        summary = ", ".join(
+            f"{key.removesuffix('_vs_scalar')} {value}x"
+            for key, value in record["speedup"].items()
+        )
+        print(f"speedup vs scalar: {summary}")
+    print(f"(record written to {args.output})")
     return record
 
 
@@ -358,6 +454,18 @@ def test_throughput_windowed_batched(benchmark, workload_array):
         sketch = SlidingWindowSketch(CAPACITY, horizon="120s", pane="6s", seed=0)
         sketch.update_batch(workload_array, timestamps=timestamps)
         return sketch
+
+    sketch = benchmark(ingest)
+    assert sketch.rows_processed == len(workload_array)
+
+
+def test_throughput_served_queue(benchmark, workload_array):
+    # The full served ingest path — bounded queue, coalescing writer,
+    # two concurrent producers — including the asyncio loop setup cost.
+    chunks = chunk_stream(workload_array, 5_000)
+
+    def ingest():
+        return run_serve_mode(chunks, capacity=CAPACITY, seed=0, num_producers=2)[0]
 
     sketch = benchmark(ingest)
     assert sketch.rows_processed == len(workload_array)

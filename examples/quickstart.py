@@ -27,11 +27,14 @@ from repro.streams.frequency import scaled_weibull_counts
 from repro.streams.generators import exchangeable_stream
 
 
-def main() -> None:
+def main(num_rows: int = 200_000) -> None:
     # ------------------------------------------------------------------
     # 1. Simulate a skewed click stream: 2,000 ads, ~200,000 click rows.
     # ------------------------------------------------------------------
-    ads = scaled_weibull_counts(num_items=2_000, shape=0.25, target_total=200_000)
+    num_items = max(50, min(2_000, num_rows // 10))
+    ads = scaled_weibull_counts(
+        num_items=num_items, shape=0.25, target_total=num_rows
+    )
     stream = exchangeable_stream(ads, rng=np.random.default_rng(7))
     print(f"stream: {ads.total:,} click rows over {ads.num_items:,} ads")
 
@@ -89,4 +92,13 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=200_000,
+        help="click rows to simulate (tiny values run in CI smoke tests)",
+    )
+    main(parser.parse_args().rows)

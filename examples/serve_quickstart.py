@@ -1,0 +1,116 @@
+"""Serve quickstart: one sketch server, many producers, live queries.
+
+Run with::
+
+    python examples/serve_quickstart.py
+
+The scenario is the serving layer's reason to exist: a shared counting
+service.  One asyncio process hosts named sketch sessions for two
+tenants; four concurrent producers pump a skewed click stream into the
+``ads`` tenant's session through its bounded ingest queue (full queue =
+real backpressure, no lost rows), while a dashboard task queries the
+same session under load.  At the end the server checkpoints everything,
+a "restarted" server restores from disk, and the restored session
+answers the same queries — exactly.
+
+Everything here also works over TCP (``await server.start_tcp(host,
+port)`` + ``TCPServeClient.connect``) with the same client surface; see
+``docs/serve.md`` for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import SketchServer
+from repro.serve.load import measure_query_latency, run_producers
+from repro.streams import chunk_stream
+from repro.streams.frequency import scaled_weibull_counts
+from repro.streams.generators import exchangeable_stream
+
+
+async def serve_demo(num_rows: int, checkpoint_dir: Path) -> None:
+    ads = scaled_weibull_counts(
+        num_items=max(50, num_rows // 40), shape=0.3, target_total=num_rows
+    )
+    stream = np.asarray(
+        exchangeable_stream(ads, rng=np.random.default_rng(7)), dtype=np.int64
+    )
+    chunks = chunk_stream(stream, max(1, len(stream) // 16))
+
+    async with SketchServer(
+        checkpoint_dir=checkpoint_dir, checkpoint_interval=60.0
+    ) as server:
+        client = server.client
+
+        # Two tenants, fully namespaced: same session name, no collision.
+        await client.create(
+            "clicks", "unbiased_space_saving", size=256, seed=42, tenant="ads"
+        )
+        await client.create(
+            "clicks", "unbiased_space_saving", size=64, seed=7, tenant="fraud"
+        )
+
+        # Four producers share the ads session's bounded queue; a
+        # dashboard samples query latency while ingest is in flight.
+        stop = asyncio.Event()
+        dashboard = asyncio.create_task(
+            measure_query_latency(client, "clicks", stop=stop, tenant="ads")
+        )
+        report = await run_producers(
+            client, "clicks", chunks, num_producers=4, tenant="ads"
+        )
+        stop.set()
+        latency = await dashboard
+
+        total = await client.total("clicks", tenant="ads")
+        top = await client.top_k("clicks", 5, tenant="ads")
+        print(
+            f"ingested {report.rows:,} rows from {report.num_producers} "
+            f"producers in {report.seconds:.3f}s "
+            f"({report.rows_per_sec:,.0f} rows/s)"
+        )
+        print(
+            f"queries under load: {latency.count} sampled, "
+            f"p50 {latency.as_dict()['p50_ms']}ms"
+        )
+        print(f"total (exact for USS): {total.estimate:,.0f}")
+        print("top 5 ads:", {item: round(count) for item, count in top.groups.items()})
+
+        # Subset sum with a callable predicate (in-process client only).
+        evens = await client.subset_sum(
+            "clicks", lambda ad: ad % 2 == 0, tenant="ads"
+        )
+        print(f"clicks on even ad ids: {evens.estimate:,.0f} (true {ads.subset_sum(lambda ad: ad % 2 == 0):,.0f})")
+
+        sessions = await client.list_sessions()
+        print(f"sessions hosted: {[(s['tenant'], s['name']) for s in sessions]}")
+        await client.checkpoint()
+        snapshot = (await client.estimates("clicks", tenant="ads"))
+
+    # "Restart": a new server restores every session from the manifest.
+    restored = SketchServer.restore(checkpoint_dir)
+    async with restored:
+        again = await restored.client.estimates("clicks", tenant="ads")
+        print(f"restored server answers identically: {again == snapshot}")
+
+
+def main(num_rows: int = 200_000) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        asyncio.run(serve_demo(num_rows, Path(tmp)))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=200_000,
+        help="click rows to stream (tiny values run in CI smoke tests)",
+    )
+    main(parser.parse_args().rows)

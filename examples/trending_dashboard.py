@@ -40,14 +40,25 @@ def bar(value: float, scale: float, width: int = 30) -> str:
     return "#" * filled
 
 
-def main() -> None:
+def main(num_rows: int = 60_000) -> None:
     rng = np.random.default_rng(7)
+    scale_factor = num_rows / 60_000
     bursts = [
-        BurstSpec(item="flash_sale", at=3 * 60.0, duration=90.0, rows=2_500),
-        BurstSpec(item="breaking_news", at=8 * 60.0, duration=60.0, rows=3_000),
+        BurstSpec(
+            item="flash_sale",
+            at=3 * 60.0,
+            duration=90.0,
+            rows=max(1, round(2_500 * scale_factor)),
+        ),
+        BurstSpec(
+            item="breaking_news",
+            at=8 * 60.0,
+            duration=60.0,
+            rows=max(1, round(3_000 * scale_factor)),
+        ),
     ]
     rows = timestamped_zipf_stream(
-        60_000,
+        num_rows,
         num_items=2_000,
         exponent=1.05,
         duration=DURATION,
@@ -101,4 +112,13 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=60_000,
+        help="stream size (bursts scale with it; tiny values run in CI smoke tests)",
+    )
+    main(parser.parse_args().rows)

@@ -18,6 +18,10 @@ out by subsystem:
   simulated map-reduce merging.
 * :mod:`repro.windows` — time-windowed streaming: tumbling/sliding pane
   rings and continuous forward decay behind one windowed-session surface.
+* :mod:`repro.serve` — the concurrent multi-tenant serving layer: one
+  asyncio process hosting many named sessions behind bounded ingest
+  queues, with TTL/LRU eviction, background checkpointing and a
+  JSON-lines TCP protocol.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
 
 Every sketch ingests rows one at a time via ``update(item, weight)``, in
@@ -60,6 +64,12 @@ from repro.distributed import ParallelSketchExecutor, ShardedSketch
 from repro.errors import CapabilityError
 from repro.io import load_bytes, load_checkpoint, load_dict, save_checkpoint
 from repro.query import SketchQueryEngine, SubsetSumEstimator
+from repro.serve import (
+    ServeClient,
+    SketchRegistry,
+    SketchServer,
+    TCPServeClient,
+)
 from repro.version import __version__
 from repro.windows import (
     DecayedWindowSketch,
@@ -79,9 +89,13 @@ __all__ = [
     "ParallelSketchExecutor",
     "QueryResult",
     "ShardedSketch",
+    "ServeClient",
     "SignedUnbiasedSpaceSaving",
+    "SketchRegistry",
+    "SketchServer",
     "SlidingWindowSketch",
     "StreamSession",
+    "TCPServeClient",
     "TumblingWindowSketch",
     "UnbiasedSpaceSaving",
     "available_specs",

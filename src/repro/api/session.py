@@ -137,6 +137,23 @@ class StreamSession:
         """Total ingested weight (0 when the estimator does not track it)."""
         return float(getattr(self._estimator, "total_weight", 0.0))
 
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-safe description of the session (spec, backend, progress).
+
+        This is the session's self-describing metadata surface: the serve
+        layer publishes it as the ``info`` op and persists it in
+        checkpoint manifests, so everything here must stay plain data.
+        """
+        return {
+            "spec": self._spec_name,
+            "backend": self._backend,
+            "window": self._window,
+            "estimator": type(self._estimator).__name__,
+            "rows_processed": self.rows_processed,
+            "total_weight": self.total_weight,
+            "capabilities": sorted(self.capabilities),
+        }
+
     def __repr__(self) -> str:
         spec = self._spec_name if self._spec_name else type(self._estimator).__name__
         window = f"window={self._window!r}, " if self._window is not None else ""

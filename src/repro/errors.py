@@ -48,6 +48,35 @@ class CapabilityError(InvalidParameterError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` serving layer."""
+
+
+class SessionNotFoundError(ServeError, KeyError):
+    """A serve request named a session the registry does not hold.
+
+    Raised for sessions that were never created, already dropped, or
+    evicted by the registry's TTL / capacity policy.  Subclasses
+    :class:`KeyError` because the registry is a keyed store.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message readable
+        return self.args[0] if self.args else ""
+
+
+class BackpressureError(ServeError, RuntimeError):
+    """A non-blocking enqueue found the session's ingest queue full.
+
+    Producers that can wait should use the awaitable ``put_batch`` path,
+    which blocks until the single-writer ingest loop frees queue space
+    instead of raising.
+    """
+
+
+class ServerClosedError(ServeError, RuntimeError):
+    """An operation was attempted on a closed server or served session."""
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch payload could not be encoded or decoded.
 

@@ -1,0 +1,440 @@
+"""Async clients for the sketch server: in-process and TCP.
+
+Both clients expose the same method surface and return the same
+normalized result types the local :class:`~repro.api.session.StreamSession`
+does — :class:`~repro.core.variance.EstimateWithError` for scalar reads,
+:class:`~repro.query.engine.QueryResult` for grouped reads — so query
+code is identical whether the sketch lives in this process, or across a
+socket:
+
+* :class:`ServeClient` binds directly to a server's registry.  Zero
+  copies, callable predicates allowed, and backpressure is the real
+  ``await`` on the session's bounded queue — this is the client the
+  benchmark's multi-producer load generators drive.
+* :class:`TCPServeClient` speaks the JSON-lines protocol of
+  :mod:`repro.serve.protocol`.  Predicates must be candidate lists
+  (callables cannot travel over JSON); remote errors re-raise as their
+  original :mod:`repro.errors` classes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro._typing import Item, ItemPredicate
+from repro.core.variance import EstimateWithError
+from repro.errors import (
+    BackpressureError,
+    CapabilityError,
+    InvalidParameterError,
+    SerializationError,
+    ServeError,
+    ServerClosedError,
+    SessionNotFoundError,
+)
+from repro.query.engine import QueryResult
+from repro.serve import protocol
+from repro.serve.registry import DEFAULT_TENANT
+
+__all__ = ["ServeClient", "TCPServeClient", "RemoteServeError"]
+
+
+class RemoteServeError(ServeError):
+    """A server-side failure with no local exception class to map onto."""
+
+
+#: Remote error type name -> local exception class (anything else raises
+#: :class:`RemoteServeError`).
+_ERROR_TYPES = {
+    "SessionNotFoundError": SessionNotFoundError,
+    "BackpressureError": BackpressureError,
+    "ServerClosedError": ServerClosedError,
+    "CapabilityError": CapabilityError,
+    "InvalidParameterError": InvalidParameterError,
+    "SerializationError": SerializationError,
+    "ServeError": ServeError,
+}
+
+
+class ServeClient:
+    """In-process async client over a :class:`~repro.serve.server.SketchServer`.
+
+    All methods take ``tenant=`` (defaulting to the shared ``"default"``
+    namespace) and a session ``name``; reads return normalized estimate
+    objects exactly as the underlying session would.
+    """
+
+    def __init__(self, server) -> None:
+        self._server = server
+
+    @property
+    def server(self):
+        return self._server
+
+    def _served(self, name: str, tenant: str):
+        return self._server.registry.get(name, tenant=tenant)
+
+    # -- lifecycle -----------------------------------------------------
+    async def create(
+        self,
+        name: str,
+        spec: str,
+        *,
+        size: int,
+        tenant: str = DEFAULT_TENANT,
+        ttl: Optional[float] = None,
+        queue_maxsize: Optional[int] = None,
+        **build_kwargs,
+    ) -> Dict[str, Any]:
+        """Create a served session; returns its ``info`` description."""
+        served = self._server.registry.create(
+            name,
+            spec,
+            tenant=tenant,
+            size=size,
+            ttl=ttl,
+            queue_maxsize=queue_maxsize,
+            **build_kwargs,
+        )
+        return served.describe()
+
+    async def drop(self, name: str, *, tenant: str = DEFAULT_TENANT) -> None:
+        self._server.registry.drop(name, tenant=tenant)
+
+    async def list_sessions(
+        self, *, tenant: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        return self._server.registry.list_sessions(tenant=tenant)
+
+    async def info(self, name: str, *, tenant: str = DEFAULT_TENANT) -> Dict[str, Any]:
+        return self._served(name, tenant).describe()
+
+    # -- ingest --------------------------------------------------------
+    async def update(
+        self,
+        name: str,
+        item: Item,
+        weight: float = 1.0,
+        timestamp: Optional[float] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
+        await self._served(name, tenant).put(item, weight, timestamp)
+
+    async def update_batch(
+        self,
+        name: str,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+        timestamps: Optional[Iterable[float]] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        block: bool = True,
+    ) -> int:
+        """Enqueue a batch; returns rows enqueued (full queue raises when
+        ``block=False``)."""
+        served = self._served(name, tenant)
+        if block:
+            return await served.put_batch(items, weights, timestamps)
+        if not hasattr(items, "__len__"):
+            items = list(items)  # count once; the session reuses the snapshot
+        if not served.offer_batch(items, weights, timestamps):
+            raise BackpressureError(
+                f"ingest queue full for session {tenant!r}/{name!r}; "
+                "retry, or call with block=True to wait"
+            )
+        return len(items)
+
+    async def flush(self, name: str, *, tenant: str = DEFAULT_TENANT) -> int:
+        """Wait until every enqueued batch is applied; returns rows applied."""
+        served = self._served(name, tenant)
+        await served.drain()
+        return served.stats.rows_applied
+
+    # -- queries -------------------------------------------------------
+    async def estimate(
+        self, name: str, item: Item, *, tenant: str = DEFAULT_TENANT
+    ) -> EstimateWithError:
+        return self._served(name, tenant).estimate(item)
+
+    async def estimates(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> Dict[Item, float]:
+        return self._served(name, tenant).estimates()
+
+    async def subset_sum(
+        self,
+        name: str,
+        predicate: "ItemPredicate | Iterable[Item]",
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> EstimateWithError:
+        """Subset sum under a callable predicate or a candidate collection."""
+        if not callable(predicate):
+            members = set(predicate)
+            predicate = lambda item: item in members  # noqa: E731
+        return self._served(name, tenant).subset_sum(predicate)
+
+    async def total(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> EstimateWithError:
+        return self._served(name, tenant).total()
+
+    async def heavy_hitters(
+        self, name: str, phi: float, *, tenant: str = DEFAULT_TENANT
+    ) -> QueryResult:
+        return self._served(name, tenant).heavy_hitters(phi)
+
+    async def top_k(
+        self, name: str, k: int, *, tenant: str = DEFAULT_TENANT
+    ) -> QueryResult:
+        return self._served(name, tenant).top_k(k)
+
+    async def checkpoint(self, *, force: bool = False) -> int:
+        """Force a checkpoint pass; returns the number of sessions written."""
+        if self._server.checkpointer is None:
+            raise ServeError("this server has no checkpoint directory configured")
+        manifest = self._server.checkpointer.checkpoint_now(force=force)
+        return len(manifest["sessions"])
+
+
+class TCPServeClient:
+    """JSON-lines client for a remote :class:`SketchServer` TCP endpoint.
+
+    Create with :meth:`connect`; use as an async context manager::
+
+        async with await TCPServeClient.connect(host, port) as client:
+            await client.create("clicks", spec="unbiased_space_saving", size=256)
+            await client.update_batch("clicks", [1, 2, 1, 3])
+            top = await client.top_k("clicks", 2)
+
+    The client is sequential (one request in flight at a time, guarded by
+    a lock); open several clients for concurrent producers — the server
+    multiplexes connections freely.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+        self.server_hello: Dict[str, Any] = {}
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "TCPServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        client = cls(reader, writer)
+        hello = protocol.decode_line(await reader.readline())
+        client.server_hello = hello
+        version = hello.get("wire_version")
+        if version != protocol.WIRE_VERSION:
+            await client.close()
+            raise SerializationError(
+                f"server speaks wire version {version!r}, "
+                f"client expects {protocol.WIRE_VERSION}"
+            )
+        return client
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "TCPServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # -- request plumbing ----------------------------------------------
+    async def _call(self, op: str, **fields) -> Dict[str, Any]:
+        request = {"id": next(self._ids), "op": op}
+        request.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        async with self._lock:
+            self._writer.write(protocol.encode_line(request))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        response = protocol.decode_line(line)
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        exc_class = _ERROR_TYPES.get(error.get("type"), RemoteServeError)
+        raise exc_class(error.get("message", "remote serve error"))
+
+    @staticmethod
+    def _scalar(result: Dict[str, Any]) -> EstimateWithError:
+        return EstimateWithError(
+            estimate=float(result["estimate"]), variance=float(result["variance"])
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        return await self._call("ping")
+
+    async def create(
+        self,
+        name: str,
+        spec: str,
+        *,
+        size: int,
+        tenant: str = DEFAULT_TENANT,
+        ttl: Optional[float] = None,
+        queue_maxsize: Optional[int] = None,
+        backend: Optional[str] = None,
+        window: Optional[str] = None,
+        seed: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        **params,
+    ) -> Dict[str, Any]:
+        result = await self._call(
+            "create",
+            session=name,
+            tenant=tenant,
+            spec=spec,
+            size=size,
+            ttl=ttl,
+            queue_maxsize=queue_maxsize,
+            backend=backend,
+            window=window,
+            seed=seed,
+            num_shards=num_shards,
+            params=params or None,
+        )
+        return result["info"]
+
+    async def drop(self, name: str, *, tenant: str = DEFAULT_TENANT) -> None:
+        await self._call("drop", session=name, tenant=tenant)
+
+    async def list_sessions(
+        self, *, tenant: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        return (await self._call("list", tenant=tenant))["sessions"]
+
+    async def info(self, name: str, *, tenant: str = DEFAULT_TENANT) -> Dict[str, Any]:
+        return (await self._call("info", session=name, tenant=tenant))["info"]
+
+    # -- ingest --------------------------------------------------------
+    async def update(
+        self,
+        name: str,
+        item: Item,
+        weight: float = 1.0,
+        timestamp: Optional[float] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
+        await self._call(
+            "update",
+            session=name,
+            tenant=tenant,
+            item=protocol.encode_item(item),
+            weight=weight,
+            timestamp=timestamp,
+        )
+
+    async def update_batch(
+        self,
+        name: str,
+        items: Iterable[Item],
+        weights: Optional[Iterable[float]] = None,
+        timestamps: Optional[Iterable[float]] = None,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        block: bool = True,
+    ) -> int:
+        result = await self._call(
+            "update_batch",
+            session=name,
+            tenant=tenant,
+            items=[protocol.encode_item(item) for item in items],
+            weights=None if weights is None else [float(w) for w in weights],
+            timestamps=None
+            if timestamps is None
+            else [float(ts) for ts in timestamps],
+            block=block,
+        )
+        return int(result["enqueued"])
+
+    async def flush(self, name: str, *, tenant: str = DEFAULT_TENANT) -> int:
+        return int(
+            (await self._call("flush", session=name, tenant=tenant))["rows_applied"]
+        )
+
+    # -- queries -------------------------------------------------------
+    async def estimate(
+        self, name: str, item: Item, *, tenant: str = DEFAULT_TENANT
+    ) -> EstimateWithError:
+        return self._scalar(
+            await self._call(
+                "estimate",
+                session=name,
+                tenant=tenant,
+                item=protocol.encode_item(item),
+            )
+        )
+
+    async def estimates(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> Dict[Item, float]:
+        result = await self._call("estimates", session=name, tenant=tenant)
+        return protocol.decode_pairs(result["pairs"])
+
+    async def subset_sum(
+        self,
+        name: str,
+        candidates: Iterable[Item],
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> EstimateWithError:
+        """Subset sum over an explicit candidate collection.
+
+        The wire protocol cannot ship callables; pass the candidate items
+        whose total you want (the server builds the membership predicate).
+        """
+        if callable(candidates):
+            raise InvalidParameterError(
+                "TCP subset_sum takes a candidate collection, not a callable; "
+                "use the in-process ServeClient for predicate queries"
+            )
+        return self._scalar(
+            await self._call(
+                "subset_sum",
+                session=name,
+                tenant=tenant,
+                candidates=[protocol.encode_item(item) for item in candidates],
+            )
+        )
+
+    async def total(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> EstimateWithError:
+        return self._scalar(await self._call("total", session=name, tenant=tenant))
+
+    async def heavy_hitters(
+        self, name: str, phi: float, *, tenant: str = DEFAULT_TENANT
+    ) -> QueryResult:
+        result = await self._call(
+            "heavy_hitters", session=name, tenant=tenant, phi=phi
+        )
+        return QueryResult(groups=protocol.decode_pairs(result["pairs"]))
+
+    async def top_k(
+        self, name: str, k: int, *, tenant: str = DEFAULT_TENANT
+    ) -> QueryResult:
+        result = await self._call("top_k", session=name, tenant=tenant, k=k)
+        return QueryResult(groups=protocol.decode_pairs(result["pairs"]))
+
+    async def checkpoint(self, *, force: bool = False) -> int:
+        return int((await self._call("checkpoint", force=force or None))["sessions"])

@@ -1,0 +1,126 @@
+"""The JSON-lines wire format shared by the TCP server and client.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated — the
+simplest protocol that stdlib ``asyncio`` streams speak natively
+(``readline`` / ``write``), trivially debuggable with ``nc``.
+
+Requests carry ``{"id", "op", ...op fields...}``; responses echo the id
+as ``{"id", "ok": true, "result": {...}}`` or
+``{"id", "ok": false, "error": {"type", "message"}}``.  The error
+``type`` is the exception class name, which the client maps back onto
+the :mod:`repro.errors` hierarchy so remote failures raise the same
+classes local calls do.
+
+Item labels survive the trip with types intact where JSON allows:
+integers, floats, strings and booleans pass through; *tuple* labels
+(composite keys are tuples throughout the package) are encoded as JSON
+arrays and decoded back to tuples recursively — JSON has no tuple, and
+lists are unhashable, so any array arriving in an item position must
+mean a tuple.  Grouped results (``estimates`` / ``heavy_hitters`` /
+``top_k``) travel as ``[[item, value], ...]`` pair lists, never JSON
+objects, because JSON object keys are strings and would destroy
+integer and tuple labels.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+__all__ = [
+    "WIRE_VERSION",
+    "encode_line",
+    "decode_line",
+    "encode_item",
+    "decode_item",
+    "encode_pairs",
+    "decode_pairs",
+    "ok_response",
+    "error_response",
+]
+
+#: Protocol revision, sent in ``hello`` and checked by the client.
+WIRE_VERSION = 1
+
+#: Hard cap on one wire line (64 MiB) — a malformed or hostile peer
+#: cannot make ``readline`` buffer unboundedly.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def encode_item(item: Any) -> Any:
+    """Make one item label JSON-encodable (tuples become arrays)."""
+    if isinstance(item, tuple):
+        return [encode_item(part) for part in item]
+    if isinstance(item, np.generic):
+        item = item.item()
+    if item is None or isinstance(item, (bool, int, float, str)):
+        return item
+    raise SerializationError(
+        f"item label {item!r} ({type(item).__name__}) is outside the wire "
+        "protocol's label domain (int, float, str, bool, None, tuples thereof)"
+    )
+
+
+def decode_item(payload: Any) -> Any:
+    """Inverse of :func:`encode_item`: arrays in item position are tuples."""
+    if isinstance(payload, list):
+        return tuple(decode_item(part) for part in payload)
+    return payload
+
+
+def encode_pairs(groups: "Dict[Any, float] | Iterable[Tuple[Any, float]]") -> List[List[Any]]:
+    """Encode a grouped result as an order-preserving pair list."""
+    pairs = groups.items() if isinstance(groups, dict) else groups
+    return [[encode_item(item), float(value)] for item, value in pairs]
+
+
+def decode_pairs(payload: Sequence[Sequence[Any]]) -> Dict[Any, float]:
+    """Decode a pair list back to an insertion-ordered dict."""
+    return {decode_item(item): float(value) for item, value in payload}
+
+
+def _jsonable(value: Any) -> Any:
+    """``json.dumps`` default hook: numpy scalars to their Python twins."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """One protocol message as a compact, newline-terminated JSON line."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=_jsonable) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; malformed input raises :class:`SerializationError`."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed wire line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"wire messages are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """A success envelope echoing the request id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """A failure envelope carrying the exception class name and message."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }

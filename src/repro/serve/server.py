@@ -1,0 +1,409 @@
+"""The sketch server: one process hosting many served sessions.
+
+A :class:`SketchServer` composes the three serving pieces — a
+:class:`~repro.serve.registry.SketchRegistry` of per-tenant sessions, an
+optional :class:`~repro.serve.checkpoint.CheckpointScheduler`, and an
+optional TCP endpoint speaking the JSON-lines protocol of
+:mod:`repro.serve.protocol` over ``asyncio.start_server`` — behind one
+lifecycle::
+
+    async with SketchServer(checkpoint_dir="ckpt") as server:
+        client = server.client                      # in-process async client
+        await server.start_tcp("127.0.0.1", 0)      # optional network endpoint
+        ...
+    # __aexit__ drains every queue, then writes a final checkpoint
+
+``SketchServer.restore(directory)`` rebuilds the registry from the last
+completed checkpoint, so a restarted process resumes every session
+exactly where the checkpoint left it.
+
+The TCP dispatch table maps protocol ``op`` names onto the same registry
+calls the in-process client uses; both clients therefore return the same
+normalized results, and remote errors re-raise as the same
+:mod:`repro.errors` classes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    BackpressureError,
+    InvalidParameterError,
+    SerializationError,
+    ServeError,
+)
+from repro.serve import protocol
+from repro.serve.checkpoint import CheckpointScheduler, restore_registry
+from repro.serve.registry import DEFAULT_TENANT, SketchRegistry
+
+__all__ = ["SketchServer"]
+
+
+class SketchServer:
+    """Host many named sketch sessions behind one asyncio process.
+
+    Parameters
+    ----------
+    registry:
+        A pre-built registry (e.g. from :meth:`restore`); by default a
+        fresh one is created from the ``max_sessions`` / ``default_ttl`` /
+        ``queue_maxsize`` knobs below.
+    checkpoint_dir:
+        Directory for periodic background checkpoints (``None`` disables
+        persistence).
+    checkpoint_interval:
+        Seconds between background checkpoint passes.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[SketchRegistry] = None,
+        checkpoint_dir=None,
+        checkpoint_interval: float = 30.0,
+        max_sessions: Optional[int] = None,
+        default_ttl: Optional[float] = None,
+        queue_maxsize: int = 64,
+        coalesce: int = 8,
+    ) -> None:
+        self._registry = registry or SketchRegistry(
+            max_sessions=max_sessions,
+            default_ttl=default_ttl,
+            queue_maxsize=queue_maxsize,
+            coalesce=coalesce,
+        )
+        self._checkpointer = (
+            CheckpointScheduler(
+                self._registry, checkpoint_dir, interval=checkpoint_interval
+            )
+            if checkpoint_dir is not None
+            else None
+        )
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._connections = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Construction / introspection
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(cls, checkpoint_dir, **kwargs) -> "SketchServer":
+        """Rebuild a server from ``checkpoint_dir``'s last completed checkpoint.
+
+        Registry shape knobs (``max_sessions`` etc.) pass through to the
+        restored registry; the directory keeps serving as the checkpoint
+        target.
+        """
+        registry_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("max_sessions", "default_ttl", "queue_maxsize", "coalesce")
+            if key in kwargs
+        }
+        registry = restore_registry(checkpoint_dir, **registry_kwargs)
+        return cls(registry=registry, checkpoint_dir=checkpoint_dir, **kwargs)
+
+    @property
+    def registry(self) -> SketchRegistry:
+        return self._registry
+
+    @property
+    def checkpointer(self) -> Optional[CheckpointScheduler]:
+        return self._checkpointer
+
+    @property
+    def client(self):
+        """An in-process async client bound to this server's registry."""
+        from repro.serve.client import ServeClient
+
+        return ServeClient(self)
+
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The bound TCP ``(host, port)``, or ``None`` when not listening."""
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        return self._tcp_server.sockets[0].getsockname()[:2]
+
+    @property
+    def connections_served(self) -> int:
+        """TCP connections accepted over the server's lifetime."""
+        return self._connections
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchServer(sessions={len(self._registry)}, "
+            f"address={self.address}, "
+            f"checkpointing={self._checkpointer is not None})"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SketchServer":
+        """Start background services (the checkpoint scheduler)."""
+        if self._checkpointer is not None:
+            self._checkpointer.start()
+        return self
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen for JSON-lines clients; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the tests do this).
+        """
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=protocol.MAX_LINE_BYTES
+        )
+        return self.address
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Shut down: close TCP, drain every session, final checkpoint.
+
+        With ``drain=True`` (the default) every batch accepted before the
+        stop is applied before the writers exit, and the final checkpoint
+        (when checkpointing is configured) captures the fully drained
+        state.  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        # Close sessions (draining or not) BEFORE the final checkpoint, so
+        # the checkpoint captures a state no producer can still add to —
+        # otherwise rows accepted during shutdown would be applied after
+        # the "final" snapshot and silently lost from persistence.
+        if drain:
+            await self._registry.aclose_all()
+        else:
+            for served in self._registry:
+                served.close_nowait()
+        if self._checkpointer is not None:
+            await self._checkpointer.stop(final=True)
+
+    async def __aenter__(self) -> "SketchServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # TCP connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        writer.write(
+            protocol.encode_line(
+                {"hello": "repro.serve", "wire_version": protocol.WIRE_VERSION}
+            )
+        )
+        try:
+            await writer.drain()
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Over-long line: framing is unrecoverable, but tell
+                    # the client why before closing instead of vanishing.
+                    writer.write(
+                        protocol.encode_line(
+                            protocol.error_response(
+                                None,
+                                SerializationError(
+                                    "wire line exceeds "
+                                    f"{protocol.MAX_LINE_BYTES} bytes"
+                                ),
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                request = None
+                try:
+                    request = protocol.decode_line(line)
+                    response = await self._dispatch(request)
+                except Exception as exc:  # one bad request never kills the link
+                    request_id = request.get("id") if isinstance(request, dict) else None
+                    response = protocol.error_response(request_id, exc)
+                writer.write(protocol.encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            raise InvalidParameterError(f"unknown serve op {op!r}")
+        result = await handler(request)
+        return protocol.ok_response(request.get("id"), result)
+
+    # -- op helpers ----------------------------------------------------
+    @staticmethod
+    def _key(request: Dict[str, Any]) -> Tuple[str, str]:
+        name = request.get("session")
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError(
+                "requests addressing a session need a non-empty 'session' field"
+            )
+        return str(request.get("tenant", DEFAULT_TENANT)), name
+
+    def _served(self, request: Dict[str, Any]):
+        tenant, name = self._key(request)
+        return self._registry.get(name, tenant=tenant)
+
+    @staticmethod
+    def _decode_rows(request: Dict[str, Any]):
+        items = request.get("items")
+        if not isinstance(items, list):
+            raise InvalidParameterError("'items' must be a JSON array of labels")
+        decoded = [protocol.decode_item(item) for item in items]
+        weights = request.get("weights")
+        timestamps = request.get("timestamps")
+        return decoded, weights, timestamps
+
+    # -- ops -----------------------------------------------------------
+    async def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "sessions": len(self._registry)}
+
+    async def _op_create(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant, name = self._key(request)
+        spec = request.get("spec")
+        if not isinstance(spec, str):
+            raise InvalidParameterError("'create' needs a spec name")
+        size = request.get("size")
+        if size is None:
+            raise InvalidParameterError("'create' needs a size")
+        build_kwargs = dict(request.get("params") or {})
+        for field in ("backend", "window", "seed", "num_shards", "num_workers"):
+            if request.get(field) is not None:
+                build_kwargs[field] = request[field]
+        served = self._registry.create(
+            name,
+            spec,
+            tenant=tenant,
+            size=int(size),
+            ttl=request.get("ttl"),
+            queue_maxsize=request.get("queue_maxsize"),
+            **build_kwargs,
+        )
+        return {"created": True, "info": _jsonable_info(served.describe())}
+
+    async def _op_drop(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant, name = self._key(request)
+        self._registry.drop(name, tenant=tenant)
+        return {"dropped": True}
+
+    async def _op_list(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = request.get("tenant")
+        return {
+            "sessions": [
+                _jsonable_info(info)
+                for info in self._registry.list_sessions(tenant=tenant)
+            ]
+        }
+
+    async def _op_info(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"info": _jsonable_info(self._served(request).describe())}
+
+    async def _op_update(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        item = protocol.decode_item(request.get("item"))
+        await served.put(
+            item,
+            float(request.get("weight", 1.0)),
+            request.get("timestamp"),
+        )
+        return {"enqueued": 1}
+
+    async def _op_update_batch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        items, weights, timestamps = self._decode_rows(request)
+        if request.get("block", True):
+            rows = await served.put_batch(items, weights, timestamps)
+        else:
+            if not served.offer_batch(items, weights, timestamps):
+                raise BackpressureError(
+                    f"ingest queue full for session "
+                    f"{served.tenant!r}/{served.name!r} "
+                    f"({served.queue_depth}/{served.queue_maxsize} batches); "
+                    "retry, or send with block=true to wait"
+                )
+            rows = len(items)
+        return {"enqueued": rows, "queue_depth": served.queue_depth}
+
+    async def _op_flush(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        await served.drain()
+        return {"rows_applied": served.stats.rows_applied}
+
+    async def _op_estimate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        result = served.estimate(protocol.decode_item(request.get("item")))
+        return {"estimate": result.estimate, "variance": result.variance}
+
+    async def _op_estimates(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        return {"pairs": protocol.encode_pairs(served.estimates())}
+
+    async def _op_subset_sum(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        candidates = request.get("candidates")
+        if not isinstance(candidates, list):
+            raise InvalidParameterError(
+                "the wire 'subset_sum' op takes a 'candidates' array (arbitrary "
+                "predicates cannot travel over JSON; use the in-process client "
+                "for callable predicates)"
+            )
+        member = {protocol.decode_item(candidate) for candidate in candidates}
+        result = served.subset_sum(lambda item: item in member)
+        return {"estimate": result.estimate, "variance": result.variance}
+
+    async def _op_total(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        result = served.total()
+        return {"estimate": result.estimate, "variance": result.variance}
+
+    async def _op_heavy_hitters(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        phi = float(request.get("phi", 0.01))
+        return {"pairs": protocol.encode_pairs(served.heavy_hitters(phi).groups)}
+
+    async def _op_top_k(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        served = self._served(request)
+        k = int(request.get("k", 10))
+        return {"pairs": protocol.encode_pairs(served.top_k(k).groups)}
+
+    async def _op_checkpoint(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._checkpointer is None:
+            raise ServeError(
+                "this server has no checkpoint directory configured"
+            )
+        manifest = self._checkpointer.checkpoint_now(
+            force=bool(request.get("force", False))
+        )
+        return {"sessions": len(manifest["sessions"])}
+
+
+def _jsonable_info(info: Dict[str, Any]) -> Dict[str, Any]:
+    """Session describe() dicts are JSON-safe except for nothing today —
+    kept as a single funnel so future fields stay wire-safe."""
+    try:
+        protocol.encode_line(info)
+    except (TypeError, SerializationError):
+        info = {key: repr(value) for key, value in info.items()}
+    return info

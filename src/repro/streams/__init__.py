@@ -21,6 +21,7 @@ from repro.streams.frequency import (
 )
 from repro.streams.generators import (
     BurstSpec,
+    chunk_stream,
     concatenate_streams,
     deterministic_round_robin_stream,
     exchangeable_stream,
@@ -51,6 +52,7 @@ __all__ = [
     "weibull_counts",
     "zipf_counts",
     "BurstSpec",
+    "chunk_stream",
     "concatenate_streams",
     "deterministic_round_robin_stream",
     "exchangeable_stream",

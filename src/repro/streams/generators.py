@@ -32,6 +32,7 @@ __all__ = [
     "timestamp_rows",
     "timestamped_zipf_stream",
     "timestamped_adclick_stream",
+    "chunk_stream",
 ]
 
 Stream = Union[np.ndarray, List[Item]]
@@ -285,6 +286,22 @@ def timestamped_adclick_stream(
         dataset.impressions(), start=start, duration=duration, rng=rng
     )
     return _splice_bursts(rows, bursts, rng)
+
+
+def chunk_stream(stream: Stream, batch_rows: int) -> List[Stream]:
+    """Slice a stream into contiguous batches of at most ``batch_rows`` rows.
+
+    Numpy streams yield array views (zero copy), lists yield list slices.
+    This is the batching step in front of every bulk-ingestion surface —
+    ``update_batch`` loops, the serve layer's producer queues, and the
+    throughput benchmark's per-mode chunking all share it.
+    """
+    if batch_rows < 1:
+        raise InvalidParameterError(f"batch_rows must be >= 1, got {batch_rows}")
+    return [
+        stream[start : start + batch_rows]
+        for start in range(0, len(stream), batch_rows)
+    ]
 
 
 def stream_length(stream: Stream) -> int:

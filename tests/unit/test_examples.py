@@ -1,0 +1,78 @@
+"""Tier-1 smoke tests: every example script must actually run.
+
+The examples are the first code a new user executes; each one is run
+here as a subprocess on a tiny input (the ``--rows`` flag exists for
+exactly this) so a broken import, renamed API or stale call site fails
+the tier-1 suite instead of the user's first five minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+@pytest.mark.parametrize(
+    ("script", "args", "expected_markers"),
+    [
+        (
+            "quickstart.py",
+            ("--rows", "2000"),
+            ["total preserved exactly", "top 5 ads", "sharded backend"],
+        ),
+        (
+            "trending_dashboard.py",
+            ("--rows", "3000"),
+            ["final boards", "window handed off as one sketch"],
+        ),
+        (
+            "serve_quickstart.py",
+            ("--rows", "3000"),
+            ["producers", "restored server answers identically: True"],
+        ),
+    ],
+)
+def test_example_runs_on_tiny_input(script, args, expected_markers):
+    result = run_example(script, *args)
+    assert result.returncode == 0, (
+        f"{script} failed\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    for marker in expected_markers:
+        assert marker in result.stdout, (
+            f"{script}: expected {marker!r} in output\n{result.stdout}"
+        )
+
+
+def test_example_scripts_all_have_smoke_coverage():
+    """New example scripts must be added to the smoke matrix above."""
+    covered = {"quickstart.py", "trending_dashboard.py", "serve_quickstart.py"}
+    # Long-running demo scripts excluded deliberately (no tiny-input mode).
+    excluded = {
+        "ad_click_features.py",
+        "distributed_trending.py",
+        "network_flow_monitoring.py",
+    }
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert present - excluded == covered
