@@ -150,7 +150,7 @@ def _adaptive_uss_factory(cls, size, seed, params):
 
 
 def _dss_factory(cls, size, seed, params):
-    return cls(size, seed=seed, store=params.pop("store", "stream_summary"))
+    return cls(size, seed=seed, store=params.pop("store", "columnar"))
 
 
 def _capacity_factory(cls, size, seed, params):

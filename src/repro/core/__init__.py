@@ -8,7 +8,7 @@ estimation, time decay, adaptive sizing and signed updates.
 """
 
 from repro.core.adaptive import AdaptiveUnbiasedSpaceSaving
-from repro.core.batching import collapse_batch
+from repro.core.batching import collapse_batch, collapse_batch_arrays
 from repro.core.base import (
     BinStore,
     FrequentItemSketch,
@@ -16,6 +16,7 @@ from repro.core.base import (
     StreamSummaryBinStore,
     SubsetSumSketch,
 )
+from repro.core.columnar import ColumnarCounterStore, available_kernels, resolve_kernel_name
 from repro.core.decay import ForwardDecaySketch, exponential_decay, polynomial_decay
 from repro.core.deterministic_space_saving import DeterministicSpaceSaving
 from repro.core.merge import (
@@ -47,6 +48,9 @@ from repro.core.weighted import SignedUnbiasedSpaceSaving, weighted_stream_to_un
 __all__ = [
     "AdaptiveUnbiasedSpaceSaving",
     "BinStore",
+    "ColumnarCounterStore",
+    "available_kernels",
+    "resolve_kernel_name",
     "FrequentItemSketch",
     "HeapBinStore",
     "StreamSummaryBinStore",
@@ -76,4 +80,5 @@ __all__ = [
     "SignedUnbiasedSpaceSaving",
     "weighted_stream_to_unit_rows",
     "collapse_batch",
+    "collapse_batch_arrays",
 ]

@@ -37,7 +37,13 @@ import numpy as np
 from repro._typing import Item
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 
-__all__ = ["CollapsedBatch", "collapse_batch", "unit_rows", "iter_weighted_rows"]
+__all__ = [
+    "CollapsedBatch",
+    "collapse_batch",
+    "collapse_batch_arrays",
+    "unit_rows",
+    "iter_weighted_rows",
+]
 
 #: ``(unique_items, collapsed_weights, row_count, total_weight)`` — the
 #: result of :func:`collapse_batch`.  ``unique_items`` preserves first
@@ -47,11 +53,39 @@ CollapsedBatch = Tuple[List[Item], List[float], int, float]
 WeightsLike = Optional[Union[np.ndarray, Sequence[float]]]
 
 
-def _collapse_numpy(items: np.ndarray, weights: Optional[np.ndarray]) -> CollapsedBatch:
-    """Vectorized collapse of a 1-d numpy item array."""
+def _collapse_numpy_core(
+    items: np.ndarray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Array-native collapse of a 1-d numpy item array (first-occurrence order)."""
     row_count = int(items.size)
     if row_count == 0:
-        return [], [], 0, 0.0
+        return items[:0], np.zeros(0, dtype=np.float64), 0, 0.0
+    if items.dtype.kind in "iu":
+        low = int(items.min())
+        high = int(items.max())
+        # Dense-range integer fast path: bincount beats np.unique's sort
+        # whenever the value range is comparable to the batch size.  The
+        # per-occurrence summation order matches the np.unique path (both
+        # add weights in row order), so the float results are identical.
+        if low >= 0 and high < 4 * row_count + 1024:
+            if weights is None:
+                sums_by_value = np.bincount(items, minlength=high + 1).astype(
+                    np.float64
+                )
+                total = float(row_count)
+            else:
+                sums_by_value = np.bincount(
+                    items, weights=weights.astype(np.float64), minlength=high + 1
+                )
+                total = float(weights.sum())
+            occupancy = np.bincount(items, minlength=high + 1)
+            unique = np.nonzero(occupancy)[0].astype(items.dtype, copy=False)
+            # First-occurrence positions: writing row positions in reverse
+            # leaves each value's earliest row as the surviving write.
+            first_index = np.empty(high + 1, dtype=np.int64)
+            first_index[items[::-1]] = np.arange(row_count - 1, -1, -1, dtype=np.int64)
+            order = np.argsort(first_index[unique], kind="stable")
+            return unique[order], sums_by_value[unique][order], row_count, total
     unique, first_index, inverse = np.unique(
         items, return_index=True, return_inverse=True
     )
@@ -66,9 +100,15 @@ def _collapse_numpy(items: np.ndarray, weights: Optional[np.ndarray]) -> Collaps
     # np.unique sorts by value; restore first-occurrence order so the batch
     # is order-deterministic regardless of the input container type.
     order = np.argsort(first_index, kind="stable")
+    return unique[order], sums[order], row_count, total
+
+
+def _collapse_numpy(items: np.ndarray, weights: Optional[np.ndarray]) -> CollapsedBatch:
+    """Vectorized collapse of a 1-d numpy item array."""
+    unique, sums, row_count, total = _collapse_numpy_core(items, weights)
     # .tolist() yields Python scalars, keeping repr-based hashing consistent
     # with the scalar update path (see iterate_rows).
-    return unique[order].tolist(), sums[order].tolist(), row_count, total
+    return unique.tolist(), sums.tolist(), row_count, total
 
 
 def _collapse_generic(
@@ -140,6 +180,39 @@ def collapse_batch(items: Iterable[Item], weights: WeightsLike = None) -> Collap
     if weights is not None and not isinstance(weights, (list, tuple)):
         weights = list(weights)
     return _collapse_generic(items, weights)
+
+
+def collapse_batch_arrays(
+    items: np.ndarray, weights: WeightsLike = None
+) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Array-native :func:`collapse_batch` for non-object numpy batches.
+
+    Same aggregation, validation and first-occurrence ordering as
+    :func:`collapse_batch`, but ``(unique_items, collapsed_weights)`` stay
+    numpy arrays instead of being lowered to Python lists — the form the
+    columnar kernel consumes directly, skipping two ``tolist`` passes per
+    batch.  Only defined for 1-d non-object arrays; callers with generic
+    sequences use :func:`collapse_batch`.
+    """
+    if not isinstance(items, np.ndarray) or items.dtype == object:
+        raise InvalidParameterError(
+            "collapse_batch_arrays requires a non-object numpy array; "
+            "use collapse_batch for generic sequences"
+        )
+    if items.ndim != 1:
+        raise InvalidParameterError(
+            f"item arrays must be 1-dimensional, got shape {items.shape}"
+        )
+    if weights is not None:
+        weights_array = np.asarray(weights, dtype=np.float64)
+        if weights_array.shape != items.shape:
+            raise InvalidParameterError(
+                f"items and weights must align: got shapes "
+                f"{items.shape} and {weights_array.shape}"
+            )
+    else:
+        weights_array = None
+    return _collapse_numpy_core(items, weights_array)
 
 
 def unit_rows(

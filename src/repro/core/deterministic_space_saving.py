@@ -26,7 +26,8 @@ from repro.core.base import (
     HeapBinStore,
     StreamSummaryBinStore,
 )
-from repro.core.batching import collapse_batch
+from repro.core.batching import collapse_batch, collapse_batch_arrays
+from repro.core.columnar import ColumnarCounterStore
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 from repro.io.codec import (
     decode_item,
@@ -51,9 +52,14 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
         uses randomness to break ties among equal minimum bins, matching the
         randomized tie-breaking assumed by the paper's analysis.
     store:
-        ``"stream_summary"`` (integer counters, O(1) unit updates, the
-        default), or ``"heap"`` (float counters, O(log m) updates) when
-        real-valued weights are required.
+        ``"columnar"`` (the default) keeps counters in the struct-of-arrays
+        store of :mod:`repro.core.columnar`, whose batched kernel never
+        touches per-bin Python objects; it is float-native, so real-valued
+        weights need no opt-in.  ``"stream_summary"`` (integer counters,
+        O(1) unit updates) and ``"heap"`` (float counters, O(log m)
+        updates) select the historical scalar stores, whose tie-breaking
+        draw sequences differ from the columnar kernel's priority
+        discipline.
 
     Notes
     -----
@@ -76,20 +82,28 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
         capacity: int,
         *,
         seed: Optional[int] = None,
-        store: str = "stream_summary",
+        store: str = "columnar",
     ) -> None:
         super().__init__(capacity, seed=seed)
-        self._store = self._make_store(store)
+        self._store = self._make_store(store, seed)
         self._store_kind = store
+        #: acquisition errors for the scalar stores; the columnar store
+        #: tracks them in its own error column instead.
         self._acquisition_error: Dict[Item, float] = {}
 
-    def _make_store(self, store: str) -> BinStore:
+    def _make_store(self, store: str, seed: Optional[int] = None) -> BinStore:
+        if store == "columnar":
+            return ColumnarCounterStore(
+                self._capacity,
+                generator=np.random.Generator(np.random.PCG64(seed)),
+                track_errors=True,
+            )
         if store == "stream_summary":
             return StreamSummaryBinStore(rng=self._rng)
         if store == "heap":
             return HeapBinStore(rng=self._rng)
         raise InvalidParameterError(
-            f"unknown store {store!r}; expected 'stream_summary' or 'heap'"
+            f"unknown store {store!r}; expected 'columnar', 'stream_summary' or 'heap'"
         )
 
     # ------------------------------------------------------------------
@@ -102,12 +116,16 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
         requires it to be an integer.  Use ``store="heap"`` for real-valued
         streams.
         """
-        if weight <= 0:
+        if weight <= 0 or not np.isfinite(weight):
             raise UnsupportedUpdateError(
-                "Deterministic Space Saving requires positive weights"
+                "Deterministic Space Saving requires positive weights (finite)"
             )
-        self._record_update(weight)
         store = self._store
+        if isinstance(store, ColumnarCounterStore):
+            self._record_update(weight)
+            store.apply_one(item, float(weight), always_replace=True)
+            return
+        self._record_update(weight)
         if item in store:
             store.increment(item, weight)
             return
@@ -129,18 +147,40 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
     ) -> "DeterministicSpaceSaving":
         """Batched ingestion: collapse duplicates, then apply weighted updates.
 
-        Equivalent to a scalar :meth:`update` loop over the batch's collapsed
-        ``(item, summed weight)`` pairs in first-occurrence order, with the
-        per-call bookkeeping hoisted.  ``rows_processed`` counts raw rows.
+        On the scalar stores this is equivalent to a scalar :meth:`update`
+        loop over the batch's collapsed ``(item, summed weight)`` pairs in
+        first-occurrence order, with the per-call bookkeeping hoisted.  The
+        columnar store applies the collapsed pairs in the kernel's phased
+        order instead (see :mod:`repro.core.columnar`); the deterministic
+        over-count bound is unaffected.  ``rows_processed`` counts raw rows.
         """
-        unique, collapsed, row_count, total = collapse_batch(items, weights)
-        if not unique:
+        if (
+            isinstance(self._store, ColumnarCounterStore)
+            and isinstance(items, np.ndarray)
+            and items.dtype != object
+        ):
+            unique, collapsed, row_count, total = collapse_batch_arrays(items, weights)
+        else:
+            unique, collapsed, row_count, total = collapse_batch(items, weights)
+        if len(unique) == 0:
+            return self
+        store = self._store
+        if isinstance(store, ColumnarCounterStore):
+            collapsed = np.ascontiguousarray(collapsed, dtype=np.float64)
+            # See the unbiased sketch: NaN passes a min() <= 0 test and
+            # +inf collides with the free-slot sentinel.
+            if not np.isfinite(collapsed).all() or collapsed.min() <= 0:
+                raise UnsupportedUpdateError(
+                    "Deterministic Space Saving requires positive weights (finite)"
+                )
+            store.apply_batch(unique, collapsed, always_replace=True)
+            self._rows_processed += row_count
+            self._total_weight += total
             return self
         if min(collapsed) <= 0:
             raise UnsupportedUpdateError(
                 "Deterministic Space Saving requires positive weights"
             )
-        store = self._store
         capacity = self._capacity
         if all(item in store for item in unique):
             store.increment_batch(list(zip(unique, collapsed)))
@@ -176,6 +216,8 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
 
     def acquisition_error(self, item: Item) -> float:
         """The ``ε_i`` over-count bound for a retained item (0 if absent)."""
+        if isinstance(self._store, ColumnarCounterStore):
+            return self._store.acquisition_error(item)
         return self._acquisition_error.get(item, 0.0)
 
     def lower_bound(self, item: Item) -> float:
@@ -229,7 +271,7 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
     def bins(self) -> List[Tuple[Item, float, float]]:
         """Return ``(label, count, acquisition_error)`` for every bin."""
         return [
-            (item, count, self._acquisition_error.get(item, 0.0))
+            (item, count, self.acquisition_error(item))
             for item, count in self._store.items()
         ]
 
@@ -237,6 +279,26 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
     # Serialization (repro.io contract)
     # ------------------------------------------------------------------
     def _serial_state(self):
+        meta = {
+            "capacity": self._capacity,
+            "store": self._store_kind,
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        if isinstance(self._store, ColumnarCounterStore):
+            rows = self._store.state_rows()
+            meta["active_store"] = "columnar"
+            meta["labels"] = [encode_item(label) for label, _, _, _ in rows]
+            meta["kernel_rng_state"] = self._store.generator_state()
+            arrays = {
+                "counts": np.asarray([c for _, c, _, _ in rows], dtype=np.float64),
+                "priorities": np.asarray([p for _, _, p, _ in rows], dtype=np.float64),
+                "acquisition_errors": np.asarray(
+                    [e for _, _, _, e in rows], dtype=np.float64
+                ),
+            }
+            return meta, arrays
         labels: List[object] = []
         counts: List[float] = []
         errors: List[float] = []
@@ -244,14 +306,7 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
             labels.append(encode_item(label))
             counts.append(float(count))
             errors.append(float(self._acquisition_error.get(label, 0.0)))
-        meta = {
-            "capacity": self._capacity,
-            "store": self._store_kind,
-            "rows_processed": self._rows_processed,
-            "total_weight": self._total_weight,
-            "labels": labels,
-            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
-        }
+        meta["labels"] = labels
         arrays = {
             "counts": np.asarray(counts, dtype=np.float64),
             "acquisition_errors": np.asarray(errors, dtype=np.float64),
@@ -261,12 +316,27 @@ class DeterministicSpaceSaving(FrequentItemSketch, SerializableSketch):
     @classmethod
     def _from_serial_state(cls, meta, arrays):
         sketch = cls(int(meta["capacity"]), store=meta["store"])
-        for label, count, error in zip(
-            meta["labels"], arrays["counts"], arrays["acquisition_errors"]
-        ):
-            item = decode_item(label)
-            sketch._store.insert(item, float(count))
-            sketch._acquisition_error[item] = float(error)
+        # Frames written before the columnar store carry no "active_store"
+        # key; their store kind names the active scalar store directly.
+        if meta.get("active_store") == "columnar":
+            store = sketch._store
+            for label, count, priority, error in zip(
+                meta["labels"],
+                arrays["counts"],
+                arrays["priorities"],
+                arrays["acquisition_errors"],
+            ):
+                store.restore_bin(
+                    decode_item(label), float(count), float(priority), float(error)
+                )
+            store.set_generator_state(meta["kernel_rng_state"])
+        else:
+            for label, count, error in zip(
+                meta["labels"], arrays["counts"], arrays["acquisition_errors"]
+            ):
+                item = decode_item(label)
+                sketch._store.insert(item, float(count))
+                sketch._acquisition_error[item] = float(error)
         sketch._rows_processed = int(meta["rows_processed"])
         sketch._total_weight = float(meta["total_weight"])
         sketch._rng.setstate(rng_state_from_jsonable(meta["rng_state"]))

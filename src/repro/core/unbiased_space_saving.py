@@ -34,7 +34,8 @@ from repro.core.base import (
     StreamSummaryBinStore,
     SubsetSumSketch,
 )
-from repro.core.batching import collapse_batch
+from repro.core.batching import collapse_batch, collapse_batch_arrays
+from repro.core.columnar import ColumnarCounterStore
 from repro.core.variance import EstimateWithError, subset_variance_estimate
 from repro.errors import InvalidParameterError, UnsupportedUpdateError
 from repro.io.codec import (
@@ -60,10 +61,15 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
         replacement and for breaking ties among minimum bins.  Fixing the
         seed makes a run fully reproducible.
     store:
-        ``"auto"`` (default) starts with the integer stream-summary store and
-        transparently migrates to the float heap store on the first
-        non-integer weight; ``"stream_summary"`` and ``"heap"`` force one
-        backend.
+        ``"auto"`` (default) selects the columnar struct-of-arrays store —
+        float-native, so no migration ever happens — and is equivalent to
+        ``"columnar"``.  ``"stream_summary"`` and ``"heap"`` force the
+        scalar object stores (integer stream summary with heap migration
+        semantics, or the float heap), which keep their historical
+        tie-breaking and draw sequences; seeded results differ between the
+        columnar and scalar stores because the columnar kernel uses the
+        priority-based tie-breaking discipline documented in
+        :mod:`repro.core.columnar`.
 
     Example
     -------
@@ -83,13 +89,19 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
         store: str = "auto",
     ) -> None:
         super().__init__(capacity, seed=seed)
-        if store not in ("auto", "stream_summary", "heap"):
+        if store not in ("auto", "columnar", "stream_summary", "heap"):
             raise InvalidParameterError(
-                f"unknown store {store!r}; expected 'auto', 'stream_summary' or 'heap'"
+                f"unknown store {store!r}; expected 'auto', 'columnar', "
+                "'stream_summary' or 'heap'"
             )
         self._store_kind = store
         self._store: BinStore
-        if store == "heap":
+        if store in ("auto", "columnar"):
+            self._store = ColumnarCounterStore(
+                self._capacity,
+                generator=np.random.Generator(np.random.PCG64(seed)),
+            )
+        elif store == "heap":
             self._store = HeapBinStore(rng=self._rng)
         else:
             self._store = StreamSummaryBinStore(rng=self._rng)
@@ -149,11 +161,16 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
         is incremented by ``weight`` and relabeled with probability
         ``weight / (N̂_min + weight)``, which preserves unbiasedness.
         """
-        if weight <= 0:
+        if weight <= 0 or not np.isfinite(weight):
             raise UnsupportedUpdateError(
-                "Unbiased Space Saving requires positive weights; "
+                "Unbiased Space Saving requires positive weights (finite); "
                 "see repro.core.weighted for signed updates"
             )
+        store = self._store
+        if isinstance(store, ColumnarCounterStore):
+            self._record_update(weight)
+            self._label_replacements += store.apply_one(item, float(weight))
+            return
         if weight != int(weight):
             self._ensure_float_store()
         self._record_update(weight)
@@ -183,20 +200,32 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
     ) -> "UnbiasedSpaceSaving":
         """Batched ingestion: collapse duplicates, then apply weighted updates.
 
-        Equivalent to a scalar :meth:`update` loop over the batch's collapsed
-        ``(item, summed weight)`` pairs in first-occurrence order (including
-        the random label replacement draws), with the per-call bookkeeping
-        hoisted out of the loop.  Collapsing preserves unbiasedness because a
-        weighted update *is* the §5.3 pairwise PPS reduction of the collapsed
-        rows.  ``rows_processed`` still counts raw rows.
+        On the scalar stores this is equivalent to a scalar :meth:`update`
+        loop over the batch's collapsed ``(item, summed weight)`` pairs in
+        first-occurrence order (including the random label replacement
+        draws), with the per-call bookkeeping hoisted out of the loop.  On
+        the columnar store the collapsed pairs are applied in the kernel's
+        phased order (present scatter-add, inserts, then min-replacement
+        contests — see :mod:`repro.core.columnar`), which preserves every
+        unbiasedness guarantee but is not draw-for-draw identical to the
+        scalar loop.  Collapsing preserves unbiasedness because a weighted
+        update *is* the §5.3 pairwise PPS reduction of the collapsed rows.
+        ``rows_processed`` still counts raw rows.
         """
+        if (
+            isinstance(self._store, ColumnarCounterStore)
+            and isinstance(items, np.ndarray)
+            and items.dtype != object
+        ):
+            unique, collapsed, row_count, total = collapse_batch_arrays(items, weights)
+            return self._ingest_collapsed(unique, collapsed, row_count, total)
         unique, collapsed, row_count, total = collapse_batch(items, weights)
         return self._ingest_collapsed(unique, collapsed, row_count, total)
 
     def _ingest_collapsed(
         self,
-        unique: List[Item],
-        collapsed: List[float],
+        unique,
+        collapsed,
         row_count: int,
         total: float,
     ) -> "UnbiasedSpaceSaving":
@@ -204,8 +233,25 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
 
         Backs :meth:`update_batch` and the sharded executor, which collapses
         globally before routing and must not pay a second collapse per shard.
+        ``unique`` / ``collapsed`` are aligned lists, or numpy arrays on the
+        columnar fast path.
         """
-        if not unique:
+        if len(unique) == 0:
+            return self
+        store = self._store
+        if isinstance(store, ColumnarCounterStore):
+            collapsed = np.ascontiguousarray(collapsed, dtype=np.float64)
+            # min() <= 0 alone would let NaN through (NaN comparisons are
+            # all false), and +inf would collide with the store's free-slot
+            # sentinel — require finite positive weights explicitly.
+            if not np.isfinite(collapsed).all() or collapsed.min() <= 0:
+                raise UnsupportedUpdateError(
+                    "Unbiased Space Saving requires positive weights (finite); "
+                    "see repro.core.weighted for signed updates"
+                )
+            self._label_replacements += store.apply_batch(unique, collapsed)
+            self._rows_processed += row_count
+            self._total_weight += total
             return self
         if min(collapsed) <= 0:
             raise UnsupportedUpdateError(
@@ -240,7 +286,8 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
 
     def _ensure_float_store(self) -> None:
         """Migrate from the integer store to the heap store in place."""
-        if isinstance(self._store, HeapBinStore):
+        if isinstance(self._store, (HeapBinStore, ColumnarCounterStore)):
+            # Float-native stores never migrate.
             return
         if self._store_kind == "stream_summary":
             raise UnsupportedUpdateError(
@@ -330,7 +377,7 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
         return merge_unbiased(self, other, capacity=capacity, method=method, seed=seed)
 
     def __repr__(self) -> str:
-        store = "heap" if isinstance(self._store, HeapBinStore) else "stream_summary"
+        store = self._active_store_name()
         return (
             f"{type(self).__name__}(capacity={self._capacity}, store={store!r}, "
             f"bins={len(self._store)}, rows_processed={self._rows_processed}, "
@@ -340,36 +387,67 @@ class UnbiasedSpaceSaving(SubsetSumSketch, SerializableSketch):
     # ------------------------------------------------------------------
     # Serialization (repro.io contract)
     # ------------------------------------------------------------------
+    def _active_store_name(self) -> str:
+        if isinstance(self._store, ColumnarCounterStore):
+            return "columnar"
+        if isinstance(self._store, HeapBinStore):
+            return "heap"
+        return "stream_summary"
+
     def _serial_state(self):
+        meta = {
+            "capacity": self._capacity,
+            "store": self._store_kind,
+            "active_store": self._active_store_name(),
+            "rows_processed": self._rows_processed,
+            "total_weight": self._total_weight,
+            "label_replacements": self._label_replacements,
+            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
+        }
+        if isinstance(self._store, ColumnarCounterStore):
+            rows = self._store.state_rows()
+            meta["labels"] = [encode_item(label) for label, _, _, _ in rows]
+            meta["kernel_rng_state"] = self._store.generator_state()
+            arrays = {
+                "counts": np.asarray([c for _, c, _, _ in rows], dtype=np.float64),
+                "priorities": np.asarray([p for _, _, p, _ in rows], dtype=np.float64),
+            }
+            return meta, arrays
         labels: List[object] = []
         counts: List[float] = []
         for label, count in self._store.items():
             labels.append(encode_item(label))
             counts.append(float(count))
-        meta = {
-            "capacity": self._capacity,
-            "store": self._store_kind,
-            "active_store": (
-                "heap" if isinstance(self._store, HeapBinStore) else "stream_summary"
-            ),
-            "rows_processed": self._rows_processed,
-            "total_weight": self._total_weight,
-            "label_replacements": self._label_replacements,
-            "labels": labels,
-            "rng_state": rng_state_to_jsonable(self._rng.getstate()),
-        }
+        meta["labels"] = labels
         return meta, {"counts": np.asarray(counts, dtype=np.float64)}
 
     @classmethod
     def _from_serial_state(cls, meta, arrays):
         sketch = cls(int(meta["capacity"]), store=meta["store"])
-        if meta["active_store"] == "heap" and not isinstance(sketch._store, HeapBinStore):
-            sketch._store = HeapBinStore(rng=sketch._rng)
-        # Bins are re-inserted in the serialized (structural) order, which
-        # reproduces the exact bucket/tie ordering of the source sketch, so
-        # a restored seeded sketch continues the stream bit-identically.
-        for label, count in zip(meta["labels"], arrays["counts"]):
-            sketch._store.insert(decode_item(label), float(count))
+        active = meta["active_store"]
+        if active == "columnar":
+            store = sketch._store
+            # Bins restore in items() order with their exact counts and
+            # tie-break priorities; relative slot order is preserved (the
+            # only slot property the kernel observes), and the kernel RNG
+            # state rides along, so continuation is bit-identical.
+            for label, count, priority in zip(
+                meta["labels"], arrays["counts"], arrays["priorities"]
+            ):
+                store.restore_bin(decode_item(label), float(count), float(priority))
+            store.set_generator_state(meta["kernel_rng_state"])
+        else:
+            if active == "heap" and not isinstance(sketch._store, HeapBinStore):
+                sketch._store = HeapBinStore(rng=sketch._rng)
+            elif active == "stream_summary" and not isinstance(
+                sketch._store, StreamSummaryBinStore
+            ):
+                sketch._store = StreamSummaryBinStore(rng=sketch._rng)
+            # Bins are re-inserted in the serialized (structural) order, which
+            # reproduces the exact bucket/tie ordering of the source sketch, so
+            # a restored seeded sketch continues the stream bit-identically.
+            for label, count in zip(meta["labels"], arrays["counts"]):
+                sketch._store.insert(decode_item(label), float(count))
         sketch._rows_processed = int(meta["rows_processed"])
         sketch._total_weight = float(meta["total_weight"])
         sketch._label_replacements = int(meta["label_replacements"])

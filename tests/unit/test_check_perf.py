@@ -17,18 +17,21 @@ check_perf = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(check_perf)
 
 
-def write_record(path: Path, throughputs: dict) -> Path:
-    path.write_text(
-        json.dumps(
-            {
-                "benchmark": "update_throughput",
-                "modes": {
-                    name: {"seconds": 1.0, "rows_per_sec": value}
-                    for name, value in throughputs.items()
-                },
-            }
-        )
-    )
+def write_record(
+    path: Path, throughputs: dict, *, workload: dict = None, config: dict = None
+) -> Path:
+    record = {
+        "benchmark": "update_throughput",
+        "modes": {
+            name: {"seconds": 1.0, "rows_per_sec": value}
+            for name, value in throughputs.items()
+        },
+    }
+    if workload is not None:
+        record["workload"] = workload
+    if config is not None:
+        record["config"] = config
+    path.write_text(json.dumps(record))
     return path
 
 
@@ -121,3 +124,79 @@ class TestCheckPerf:
         throughputs = check_perf.load_throughputs(check_perf.DEFAULT_BASELINE)
         assert set(throughputs) >= {"scalar", "batched", "serve"}
         assert all(value > 0 for value in throughputs.values())
+
+    def test_committed_baseline_exercises_the_worker_pool(self):
+        """num_workers must stay >= 2 so 'parallel' really spans processes."""
+        record = check_perf.load_record(check_perf.DEFAULT_BASELINE)
+        assert record["config"]["num_workers"] >= 2
+
+
+class TestConfigMatchRefusal:
+    """A baseline measured under a different config is not comparable."""
+
+    WORKLOAD = {"distribution": "zipf(s=1.1)", "rows": 1000, "seed": 0}
+    CONFIG = {"capacity": 256, "num_shards": 4, "num_workers": 2}
+
+    def test_matching_configs_compare_normally(self, tmp_path):
+        baseline = write_record(
+            tmp_path / "baseline.json", {"scalar": 1_000.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        record = write_record(
+            tmp_path / "record.json", {"scalar": 990.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        assert gate(record, baseline) == 0
+
+    def test_mismatched_config_is_refused(self, tmp_path):
+        baseline = write_record(
+            tmp_path / "baseline.json", {"scalar": 1_000.0},
+            workload=self.WORKLOAD,
+            config={**self.CONFIG, "num_workers": 1},
+        )
+        record = write_record(
+            tmp_path / "record.json", {"scalar": 5_000.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        # Refused (exit 2) even though no mode regressed.
+        assert gate(record, baseline) == 2
+
+    def test_mismatched_workload_is_refused(self, tmp_path):
+        baseline = write_record(
+            tmp_path / "baseline.json", {"scalar": 1_000.0},
+            workload={**self.WORKLOAD, "rows": 999}, config=self.CONFIG,
+        )
+        record = write_record(
+            tmp_path / "record.json", {"scalar": 1_000.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        assert gate(record, baseline) == 2
+
+    def test_missing_section_on_one_side_is_refused(self, tmp_path):
+        baseline = write_record(tmp_path / "baseline.json", {"scalar": 1_000.0})
+        record = write_record(
+            tmp_path / "record.json", {"scalar": 1_000.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        assert gate(record, baseline) == 2
+
+    def test_update_baseline_is_the_escape_hatch(self, tmp_path):
+        record = write_record(
+            tmp_path / "record.json", {"scalar": 1_000.0},
+            workload=self.WORKLOAD, config=self.CONFIG,
+        )
+        target = tmp_path / "baseline.json"
+        assert (
+            check_perf.main(
+                ["--record", str(record), "--baseline", str(target),
+                 "--update-baseline"]
+            )
+            == 0
+        )
+        assert gate(record, target) == 0
+
+    def test_mismatch_report_names_the_keys(self, tmp_path):
+        baseline = {"workload": self.WORKLOAD, "config": {**self.CONFIG, "num_workers": 1}}
+        current = {"workload": self.WORKLOAD, "config": self.CONFIG}
+        problems = check_perf.config_mismatches(baseline, current)
+        assert problems == ["config.num_workers: baseline 1 != record 2"]

@@ -14,6 +14,15 @@ Improvements and modes missing from the baseline are reported but never
 fail; a mode present in the baseline but missing from the record fails —
 silently dropping a mode is how regressions hide.
 
+Before any comparison, the gate verifies the two records describe the
+*same measurement*: their ``workload`` and ``config`` sections must be
+equal, or the gate refuses outright (exit 2) — a baseline recorded under
+a different batch size, shard count or worker-pool size is not a valid
+comparison target, and silently comparing against one is how a stale
+``num_workers: 1`` baseline once let the parallel mode dodge the pool
+entirely.  Refresh a legitimately-changed baseline with
+``--update-baseline``.
+
 Runner-to-runner noise is real: the threshold is deliberately loose, and
 ``--normalize scalar`` makes the comparison machine-relative (each
 mode's throughput divided by the same record's scalar throughput) for
@@ -36,17 +45,53 @@ DEFAULT_RECORD = REPO_ROOT / "benchmarks" / "results" / "update_throughput.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "update_throughput.json"
 
 
-def load_throughputs(path: Path) -> Dict[str, float]:
-    """Mode -> rows_per_sec from one benchmark record."""
+def load_record(path: Path) -> Dict[str, object]:
+    """One benchmark record, validated to have a modes section."""
     record = json.loads(path.read_text())
     modes = record.get("modes")
     if not isinstance(modes, dict) or not modes:
         raise SystemExit(f"{path}: not a throughput record (no 'modes' section)")
+    return record
+
+
+def load_throughputs(path: Path) -> Dict[str, float]:
+    """Mode -> rows_per_sec from one benchmark record."""
+    record = load_record(path)
     return {
         name: float(stats["rows_per_sec"])
-        for name, stats in modes.items()
+        for name, stats in record["modes"].items()
         if isinstance(stats, dict) and "rows_per_sec" in stats
     }
+
+
+#: Sections that define *what* was measured.  A baseline recorded under a
+#: different workload or configuration is not a valid comparison target:
+#: e.g. a baseline whose parallel mode ran with ``num_workers: 1`` would
+#: let a pool regression hide behind the inline path's numbers.
+_IDENTITY_SECTIONS = ("workload", "config")
+
+
+def config_mismatches(
+    baseline: Dict[str, object], current: Dict[str, object]
+) -> List[str]:
+    """Human-readable diffs between the records' identity sections."""
+    problems: List[str] = []
+    for section in _IDENTITY_SECTIONS:
+        base, now = baseline.get(section), current.get(section)
+        if base == now:
+            continue
+        if not isinstance(base, dict) or not isinstance(now, dict):
+            problems.append(
+                f"{section}: baseline has {base!r}, record has {now!r}"
+            )
+            continue
+        for key in sorted(set(base) | set(now)):
+            if base.get(key) != now.get(key):
+                problems.append(
+                    f"{section}.{key}: baseline {base.get(key)!r} "
+                    f"!= record {now.get(key)!r}"
+                )
+    return problems
 
 
 def normalize(throughputs: Dict[str, float], mode: str, path: Path) -> Dict[str, float]:
@@ -128,6 +173,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(
             f"no committed baseline at {args.baseline}; seed one with --update-baseline"
         )
+
+    baseline_record = load_record(args.baseline)
+    current_record = load_record(args.record)
+    mismatches = config_mismatches(baseline_record, current_record)
+    if mismatches:
+        print(
+            f"REFUSED: baseline {args.baseline} was recorded under a "
+            "different configuration than this run:",
+            file=sys.stderr,
+        )
+        for mismatch in mismatches:
+            print(f"  - {mismatch}", file=sys.stderr)
+        print(
+            "  refresh it with --update-baseline (and commit the diff) if "
+            "the change is intentional",
+            file=sys.stderr,
+        )
+        return 2
 
     baseline = load_throughputs(args.baseline)
     current = load_throughputs(args.record)
