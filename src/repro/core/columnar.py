@@ -198,6 +198,14 @@ def _sweep_numpy(counts, prio, step_weights, r_draws, u_draws, always_replace):
     the next winner is the remaining tied slot with the smallest
     priority.  Sorting the tied set once by priority therefore yields the
     exact per-contest winner sequence of the scalar reference kernel.
+
+    One finite-precision caveat: when a count is so large that adding the
+    weight is absorbed (``level + weight == level`` in float64), the
+    winner does *not* leave the level, and the reference kernel re-selects
+    it on the next contest under its freshly drawn priority.  The sweep
+    detects absorption and truncates the retirement at that contest, so
+    the tied set — now including the absorbed slot's new priority — is
+    re-derived exactly as the reference would.
     """
     kr = step_weights.shape[0]
     slots = np.empty(kr, dtype=np.int64)
@@ -214,6 +222,12 @@ def _sweep_numpy(counts, prio, step_weights, r_draws, u_draws, always_replace):
             winners = winners[:take]
         step = step_weights[done : done + take]
         new_counts = level + step
+        absorbed = np.nonzero(new_counts <= level)[0]
+        if absorbed.size:
+            take = int(absorbed[0]) + 1
+            winners = winners[:take]
+            step = step[:take]
+            new_counts = new_counts[:take]
         counts[winners] = new_counts
         prio[winners] = r_draws[done : done + take]
         slots[done : done + take] = winners
@@ -635,11 +649,16 @@ class ColumnarCounterStore(BinStore):
             if isinstance(unique, np.ndarray):
                 if unique.dtype.kind in "iu":
                     arr = unique
-            elif type(unique[0]) is int:
+            else:
+                # Let numpy infer the dtype first: forcing int64 on a
+                # mixed int/float batch would silently truncate labels
+                # (2.5 -> 2) and credit their weight to the wrong bin.
                 try:
-                    arr = np.asarray(unique, dtype=np.int64)
+                    cast = np.asarray(unique)
                 except (TypeError, ValueError, OverflowError):
-                    arr = None
+                    cast = None
+                if cast is not None and cast.dtype.kind in "iu":
+                    arr = cast.astype(np.int64, copy=False)
             if arr is not None:
                 slots = self._member_slots_sorted(arr)
                 if slots is not None:

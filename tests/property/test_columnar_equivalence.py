@@ -243,3 +243,83 @@ def test_kernel_flag_resolution():
         os.environ.pop("REPRO_KERNEL", None)
         if previous is not None:
             os.environ["REPRO_KERNEL"] = previous
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    head=st.lists(st.integers(min_value=0, max_value=10), max_size=20),
+    tail=st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=10),
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=16),
+        ),
+        max_size=20,
+    ),
+    seed=st.integers(0, 2**20),
+)
+def test_mixed_numeric_labels_never_alias(head, tail, seed):
+    """Batches mixing int and float labels must not truncate floats to ints.
+
+    Regression: the int membership fast path once cast whole Python-list
+    batches to int64 when the *first* element was an int, silently
+    crediting 2.5's weight to bin 2.  With capacity ≥ the number of
+    distinct labels no replacement contest ever fires, so the sketch must
+    hold the exact multiset counts of the stream — aliasing breaks that.
+    The int-only head batch arms the store's int-labels fast path before
+    the mixed batch arrives.
+    """
+    from collections import Counter
+
+    expected = Counter(head + tail)
+    capacity = max(2, len(expected))
+    sketch = make_sketch(None, capacity=capacity, seed=seed)
+    if head:
+        sketch.update_batch(list(head))
+    if tail:
+        sketch.update_batch(list(tail))
+    assert sketch.estimates() == {k: float(v) for k, v in expected.items()}
+
+
+def test_mixed_batch_keeps_float_label_distinct():
+    """The reviewer's exact case: [2, 2.5] into a store already holding 2."""
+    sketch = make_sketch(None, capacity=4, seed=3)
+    sketch.update(2)
+    sketch.update_batch([2, 2.5])
+    estimates = sketch.estimates()
+    assert estimates[2] == 2.0
+    assert estimates[2.5] == 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=6),
+    kr=st.integers(min_value=1, max_value=12),
+    seed=st.integers(0, 2**20),
+)
+def test_sweep_matches_reference_under_float_absorption(m, kr, seed):
+    """Kernels stay bit-identical when ``level + weight == level`` (float64).
+
+    Regression: the numpy level sweep once retired an entire tied level in
+    one pass, assuming every winner's count moves strictly upward.  With
+    counts near 2**53 × weight the addition is absorbed, the winner stays
+    at the level, and the reference kernel re-selects it under its fresh
+    priority — the sweep must truncate the retirement and re-derive the
+    tied set at that point.
+    """
+    from repro.core.columnar import _sweep_numpy, _sweep_reference
+
+    rng = np.random.default_rng(seed)
+    counts = np.full(m, 1e16)  # 1e16 + 2.0 == 1e16 in float64
+    prio = rng.random(m)
+    weights = rng.choice([0.5, 1.0, 2.0], kr)
+    r_draws = rng.random(kr)
+    u_draws = rng.random(kr)
+    for always_replace in (False, True):
+        fast = _sweep_numpy(
+            counts.copy(), prio.copy(), weights, r_draws, u_draws, always_replace
+        )
+        spec = _sweep_reference(
+            counts.copy(), prio.copy(), weights, r_draws, u_draws, always_replace
+        )
+        for got, expected in zip(fast, spec):
+            assert np.array_equal(got, expected)
