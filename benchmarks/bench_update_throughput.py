@@ -143,10 +143,120 @@ def run_serve_mode(
                 "batches_coalesced": served.stats.batches_coalesced,
                 "max_queue_depth": served.stats.max_queue_depth,
                 "query_under_load": latency.as_dict(),
+                "metrics": _trim_metrics(server.metrics()),
             }
             return served.session.estimator, report.seconds, stats
 
     return asyncio.run(drive())
+
+
+def _trim_metrics(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """A perf record-sized view of ``SketchServer.metrics()``.
+
+    Drops the per-bucket histogram rows (dashboard detail) but keeps the
+    counters and percentiles so the record documents what the server's
+    observability endpoint reported during the run.
+    """
+    queries = {
+        op: {key: value for key, value in hist.items() if key != "buckets"}
+        for op, hist in snapshot.get("queries", {}).items()
+    }
+    return {
+        "sessions": snapshot["sessions"],
+        "ingest": snapshot["ingest"],
+        "queues": snapshot["queues"],
+        "queries": queries,
+    }
+
+
+def run_hardening_scenario(
+    *,
+    rows: int = 50_000,
+    num_items: int = 2_000,
+    capacity: int = 256,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Exercise the multi-tenant hardening layer and report what it cost.
+
+    One rate-limited tenant ingests a Zipf stream through the blocking
+    (backpressure) path, its session is LRU-evicted into the accuracy
+    tier (§5.5 demotion + spill), then transparently rehydrated by the
+    next query.  The returned dict records the throttle accounting, the
+    spill/rehydrate latencies and the realized single-item subset-sum
+    RRMSE of the demoted sketch against its configured error budget —
+    the operational claims of docs/operations.md, measured.
+    """
+    import tempfile
+
+    from repro.serve import (
+        AccuracyTiering,
+        ErrorBudget,
+        QuotaManager,
+        TenantQuota,
+    )
+
+    stream = make_zipf_rows(rows, num_items=num_items, exponent=1.1, seed=seed)
+    labels, truth = np.unique(stream, return_counts=True)
+    total = float(stream.size)
+    budget = ErrorBudget(target_rrmse=0.02, min_capacity=16)
+    quota = QuotaManager(
+        default=TenantQuota(
+            max_rows_per_sec=5_000_000.0, burst_rows=float(rows) / 2
+        )
+    )
+
+    async def drive():
+        with tempfile.TemporaryDirectory() as tier_dir:
+            tiering = AccuracyTiering(tier_dir, default_budget=budget)
+            async with SketchServer(
+                quota=quota, tiering=tiering, max_sessions=1
+            ) as server:
+                client = server.client
+                await client.create(
+                    "hot", "unbiased_space_saving", size=capacity, seed=seed
+                )
+                started = time.perf_counter()
+                for chunk in chunk_stream(stream, 10_000):
+                    await client.update_batch("hot", chunk)
+                await client.flush("hot")
+                ingest_seconds = time.perf_counter() - started
+
+                # A second session LRU-evicts "hot" through the tier.
+                spill_started = time.perf_counter()
+                await client.create(
+                    "other", "unbiased_space_saving", size=capacity, seed=seed
+                )
+                spill_seconds = time.perf_counter() - spill_started
+
+                rehydrate_started = time.perf_counter()
+                info = await client.info("hot")
+                rehydrate_seconds = time.perf_counter() - rehydrate_started
+                estimates = await client.estimates("hot")
+                snapshot = await client.metrics()
+                return info, estimates, snapshot, (
+                    ingest_seconds, spill_seconds, rehydrate_seconds
+                )
+
+    info, estimates, snapshot, timings = asyncio.run(drive())
+    ingest_seconds, spill_seconds, rehydrate_seconds = timings
+    answered = np.array(
+        [float(estimates.get(int(label), 0.0)) for label in labels]
+    )
+    realized_rrmse = float(
+        np.sqrt(np.mean((answered - truth.astype(float)) ** 2)) / total
+    )
+    return {
+        "rows": int(total),
+        "throttled_rows_per_sec": round(total / ingest_seconds, 1),
+        "throttle_events": snapshot["quota"]["throttle_events"],
+        "rows_throttled": snapshot["quota"]["rows_throttled"],
+        "demoted_capacity": info["demoted_capacity"],
+        "target_rrmse": budget.target_rrmse,
+        "realized_rrmse": round(realized_rrmse, 5),
+        "spill_ms": round(spill_seconds * 1e3, 2),
+        "rehydrate_ms": round(rehydrate_seconds * 1e3, 2),
+        "tiering": snapshot["tiering"],
+    }
 
 
 def run_ingestion_comparison(
@@ -315,6 +425,12 @@ def run_ingestion_comparison(
         "equivalence": equivalence,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
+    if "serve" in modes:
+        # Quota/tiering lifecycle measurements ride along whenever the
+        # serve mode runs.  Deliberately a *new* top-level section: the
+        # perf gate pins the workload/config identity sections, and this
+        # scenario runs at its own fixed scale regardless of --rows.
+        record["hardening"] = run_hardening_scenario(capacity=capacity, seed=seed)
     return record
 
 

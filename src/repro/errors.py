@@ -77,6 +77,18 @@ class ServerClosedError(ServeError, RuntimeError):
     """An operation was attempted on a closed server or served session."""
 
 
+class QuotaExceededError(ServeError, RuntimeError):
+    """A tenant hit one of its configured serving quotas.
+
+    Raised by the quota layer (:mod:`repro.serve.quota`) when a tenant
+    asks for more than its budget allows: creating a session beyond
+    ``max_sessions`` or ``max_resident_counters``, or pushing rows through
+    a *non-blocking* ingest path faster than ``max_rows_per_sec``.  The
+    blocking ingest path (``put_batch`` / wire ``block:true``) never
+    raises this — it absorbs rate overages as backpressure delay instead.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch payload could not be encoded or decoded.
 

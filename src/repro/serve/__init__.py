@@ -21,6 +21,13 @@ Pieces (importable individually):
   result types.
 * :class:`CheckpointScheduler`, :func:`restore_registry` — periodic
   persistence and exact restart.
+* :class:`QuotaManager` / :class:`TenantQuota` — per-tenant session,
+  rate and memory limits enforced through the backpressure path.
+* :class:`AccuracyTiering` / :class:`ErrorBudget` — eviction as §5.5
+  demotion: idle sessions shrink to an error-budgeted capacity, spill
+  to disk and rehydrate transparently on next access.
+* :class:`ServeMetrics` / :class:`LatencyHistogram` — the observability
+  layer behind ``SketchServer.metrics()`` and the ``metrics`` wire op.
 * :mod:`repro.serve.load` — multi-producer load generators used by the
   ``serve`` benchmark mode.
 
@@ -46,9 +53,16 @@ from repro.serve.checkpoint import (
     restore_registry,
 )
 from repro.serve.client import RemoteServeError, ServeClient, TCPServeClient
+from repro.serve.quota import QuotaManager, TenantQuota, TokenBucket
 from repro.serve.registry import DEFAULT_TENANT, SketchRegistry
 from repro.serve.server import SketchServer
 from repro.serve.session import ServedSession, ServeStats
+from repro.serve.stats import LatencyHistogram, ServeMetrics
+from repro.serve.tiering import (
+    AccuracyTiering,
+    ErrorBudget,
+    capacity_for_rrmse,
+)
 
 __all__ = [
     "SketchServer",
@@ -62,4 +76,12 @@ __all__ = [
     "checkpoint_registry",
     "restore_registry",
     "DEFAULT_TENANT",
+    "QuotaManager",
+    "TenantQuota",
+    "TokenBucket",
+    "AccuracyTiering",
+    "ErrorBudget",
+    "capacity_for_rrmse",
+    "LatencyHistogram",
+    "ServeMetrics",
 ]

@@ -35,16 +35,29 @@ from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.serve.registry import SketchRegistry
 from repro.serve.session import ServedSession
 
-__all__ = ["CheckpointScheduler", "checkpoint_registry", "restore_registry"]
+__all__ = [
+    "CheckpointScheduler",
+    "checkpoint_registry",
+    "restore_registry",
+    "session_filename",
+]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_FORMAT = "repro.serve.checkpoint"
 MANIFEST_VERSION = 1
 
 
+def session_filename(tenant: str, name: str, *, suffix: str = ".ckpt") -> str:
+    """A filesystem-safe, collision-free file name for one session key.
+
+    Shared with the tiering layer (:mod:`repro.serve.tiering`), which
+    stores spilled frames under the same scheme with its own suffix.
+    """
+    return f"{quote(tenant, safe='')}__{quote(name, safe='')}{suffix}"
+
+
 def _session_filename(served: ServedSession) -> str:
-    """A filesystem-safe, collision-free file name for one session key."""
-    return f"{quote(served.tenant, safe='')}__{quote(served.name, safe='')}.ckpt"
+    return session_filename(served.tenant, served.name)
 
 
 def _write_manifest(directory: Path, manifest: Dict[str, Any]) -> None:

@@ -29,6 +29,7 @@ from repro.errors import (
     BackpressureError,
     CapabilityError,
     InvalidParameterError,
+    QuotaExceededError,
     SerializationError,
     ServeError,
     ServerClosedError,
@@ -50,6 +51,7 @@ class RemoteServeError(ServeError):
 _ERROR_TYPES = {
     "SessionNotFoundError": SessionNotFoundError,
     "BackpressureError": BackpressureError,
+    "QuotaExceededError": QuotaExceededError,
     "ServerClosedError": ServerClosedError,
     "CapabilityError": CapabilityError,
     "InvalidParameterError": InvalidParameterError,
@@ -198,6 +200,10 @@ class ServeClient:
             raise ServeError("this server has no checkpoint directory configured")
         manifest = self._server.checkpointer.checkpoint_now(force=force)
         return len(manifest["sessions"])
+
+    async def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
+        """The server's operational snapshot (see ``SketchServer.metrics``)."""
+        return self._server.metrics(detail=detail)
 
 
 class TCPServeClient:
@@ -438,3 +444,7 @@ class TCPServeClient:
 
     async def checkpoint(self, *, force: bool = False) -> int:
         return int((await self._call("checkpoint", force=force or None))["sessions"])
+
+    async def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
+        """The remote server's operational snapshot, decoded as plain data."""
+        return (await self._call("metrics", detail=detail or None))["metrics"]

@@ -33,6 +33,7 @@ from repro.errors import SerializationError
 
 __all__ = [
     "WIRE_VERSION",
+    "KNOWN_OPS",
     "encode_line",
     "decode_line",
     "encode_item",
@@ -49,6 +50,27 @@ WIRE_VERSION = 1
 #: Hard cap on one wire line (64 MiB) — a malformed or hostile peer
 #: cannot make ``readline`` buffer unboundedly.
 MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Every request ``op`` the server dispatches, in lifecycle → ingest →
+#: query → admin order (documented one-per-row in ``docs/serve.md``).
+KNOWN_OPS = (
+    "ping",
+    "create",
+    "drop",
+    "list",
+    "info",
+    "update",
+    "update_batch",
+    "flush",
+    "estimate",
+    "estimates",
+    "subset_sum",
+    "total",
+    "heavy_hitters",
+    "top_k",
+    "checkpoint",
+    "metrics",
+)
 
 
 def encode_item(item: Any) -> Any:

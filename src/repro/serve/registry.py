@@ -21,12 +21,18 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.build import build
 from repro.api.session import StreamSession
 from repro.errors import InvalidParameterError, SessionNotFoundError
+from repro.serve.quota import resident_counters
 from repro.serve.session import ServedSession
+from repro.serve.stats import ServeMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tiering -> checkpoint -> registry)
+    from repro.serve.quota import QuotaManager
+    from repro.serve.tiering import AccuracyTiering
 
 __all__ = ["SketchRegistry", "DEFAULT_TENANT"]
 
@@ -53,6 +59,14 @@ class SketchRegistry:
     clock:
         Monotonic time source shared with the sessions (injectable so
         tests drive expiry deterministically).
+    quota:
+        Optional :class:`~repro.serve.quota.QuotaManager` enforcing
+        per-tenant session / rate / memory limits on every admission and
+        ingest path.
+    tiering:
+        Optional :class:`~repro.serve.tiering.AccuracyTiering`; when set,
+        eviction demotes + spills sessions instead of discarding them,
+        and :meth:`get` transparently rehydrates spilled keys.
     """
 
     def __init__(
@@ -63,6 +77,8 @@ class SketchRegistry:
         queue_maxsize: int = 64,
         coalesce: int = 8,
         clock=time.monotonic,
+        quota: "Optional[QuotaManager]" = None,
+        tiering: "Optional[AccuracyTiering]" = None,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise InvalidParameterError(
@@ -73,6 +89,9 @@ class SketchRegistry:
         self._queue_maxsize = int(queue_maxsize)
         self._coalesce = int(coalesce)
         self._clock = clock
+        self._quota = quota
+        self._tiering = tiering
+        self._metrics = ServeMetrics()
         #: LRU order: oldest access first (move_to_end on every access).
         self._sessions: "OrderedDict[SessionKey, ServedSession]" = OrderedDict()
         self._evicted: int = 0
@@ -97,6 +116,23 @@ class SketchRegistry:
     def evicted_total(self) -> int:
         """Sessions evicted (TTL + capacity) over the registry's lifetime."""
         return self._evicted
+
+    @property
+    def max_sessions(self) -> Optional[int]:
+        return self._max_sessions
+
+    @property
+    def quota(self) -> "Optional[QuotaManager]":
+        return self._quota
+
+    @property
+    def tiering(self) -> "Optional[AccuracyTiering]":
+        return self._tiering
+
+    @property
+    def metrics(self) -> ServeMetrics:
+        """The shared query-latency recorder every served session reports to."""
+        return self._metrics
 
     def list_sessions(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
         """Describe every live session, optionally for one tenant."""
@@ -157,26 +193,76 @@ class SketchRegistry:
 
         This is how restored checkpoints re-enter a server, and the escape
         hatch for estimators configured beyond what the facade exposes.
+
+        Like :meth:`get`, the registry-wide TTL sweep here is amortized to
+        once per second — a full scan per adopt would make admitting n
+        sessions O(n²).  The adopted key itself is still checked exactly:
+        an expired homonym is evicted (through the spill tier when one is
+        wired) rather than reported as a duplicate.
         """
         key = (str(tenant), str(name))
-        self.sweep()
-        if key in self._sessions:
+        now = self._clock()
+        if now - self._last_sweep >= self._sweep_interval:
+            self.sweep(now)
+        existing = self._sessions.get(key)
+        if existing is not None and existing.expired(now):
+            self._evict(key)
+            existing = None
+        if existing is not None or (
+            self._tiering is not None and self._tiering.holds(key)
+        ):
             raise InvalidParameterError(
                 f"session {key[0]!r}/{key[1]!r} already exists; drop it first "
                 "or serve under a different name"
             )
-        while self._max_sessions is not None and len(self._sessions) >= self._max_sessions:
-            oldest_key = next(iter(self._sessions))
-            self._evict(oldest_key)
-        served = ServedSession(
+        return self._admit(
+            key,
             session,
-            tenant=key[0],
-            name=key[1],
-            queue_maxsize=self._queue_maxsize if queue_maxsize is None else queue_maxsize,
-            coalesce=self._coalesce if coalesce is None else coalesce,
             ttl=self._default_ttl if ttl is None else ttl,
-            clock=self._clock,
+            queue_maxsize=queue_maxsize,
+            coalesce=coalesce,
         )
+
+    def _admit(
+        self,
+        key: SessionKey,
+        session: StreamSession,
+        *,
+        ttl: Optional[float],
+        queue_maxsize: Optional[int] = None,
+        coalesce: Optional[int] = None,
+    ) -> ServedSession:
+        """Quota-checked insertion shared by adopt() and rehydration."""
+        counters = resident_counters(session.estimator)
+        if self._quota is not None:
+            # Admission check first: a tenant over quota must not evict a
+            # neighbour's LRU session on the way to being rejected.
+            self._quota.acquire_session(key[0], counters)
+        try:
+            while (
+                self._max_sessions is not None
+                and len(self._sessions) >= self._max_sessions
+            ):
+                oldest_key = next(iter(self._sessions))
+                self._evict(oldest_key)
+            served = ServedSession(
+                session,
+                tenant=key[0],
+                name=key[1],
+                queue_maxsize=self._queue_maxsize
+                if queue_maxsize is None
+                else queue_maxsize,
+                coalesce=self._coalesce if coalesce is None else coalesce,
+                ttl=ttl,
+                clock=self._clock,
+                quota=self._quota,
+                metrics=self._metrics,
+            )
+        except BaseException:
+            if self._quota is not None:
+                self._quota.release_session(key[0], counters)
+            raise
+        served.quota_counters = counters
         self._sessions[key] = served
         return served
 
@@ -197,6 +283,8 @@ class SketchRegistry:
         if served is not None and served.expired(now):
             self._evict(key)
             served = None
+        if served is None and self._tiering is not None and self._tiering.holds(key):
+            served = self._rehydrate(key)
         if served is None:
             raise SessionNotFoundError(
                 f"no session {key[0]!r}/{key[1]!r} (never created, dropped, "
@@ -205,13 +293,37 @@ class SketchRegistry:
         self._sessions.move_to_end(key)
         return served
 
+    def _rehydrate(self, key: SessionKey) -> ServedSession:
+        """Bring a spilled session back live, transparently to the caller.
+
+        The spill entry survives until re-admission succeeds, so a
+        rehydration blocked by the tenant's quota raises
+        :class:`~repro.errors.QuotaExceededError` *without* losing the
+        spilled state — a later access retries.
+        """
+        session, entry = self._tiering.load(key)
+        try:
+            served = self._admit(key, session, ttl=entry["ttl"])
+        except BaseException:
+            session.close()
+            raise
+        self._tiering.commit(key)
+        served.stats.rows_applied = int(entry["rows_applied"])
+        served.stats.rows_enqueued = int(entry["rows_enqueued"])
+        served.tier = "rehydrated"
+        served.demoted_capacity = entry["demoted_capacity"]
+        return served
+
     def drop(self, name: str, tenant: str = DEFAULT_TENANT) -> None:
-        """Remove and tear down a session; unknown keys raise."""
+        """Remove and tear down a session (live or spilled); unknown keys raise."""
         key = (str(tenant), str(name))
         served = self._sessions.pop(key, None)
         if served is None:
+            if self._tiering is not None and self._tiering.discard(key):
+                return
             raise SessionNotFoundError(f"no session {key[0]!r}/{key[1]!r} to drop")
         served.close_nowait()
+        self._release_quota(served)
 
     def sweep(self, now: Optional[float] = None) -> List[SessionKey]:
         """Evict every TTL-expired session; returns the evicted keys."""
@@ -225,9 +337,25 @@ class SketchRegistry:
         return expired
 
     def _evict(self, key: SessionKey) -> None:
+        """Evict one session — through the spill tier when one is wired.
+
+        A successful spill turns the eviction into a demotion (the key
+        stays reachable and rehydrates on next access); sessions that
+        cannot spill (unserializable estimators, a failing tier disk)
+        fall back to the plain discard this method always was.
+        """
         served = self._sessions.pop(key)
+        if self._tiering is not None:
+            self._tiering.spill(served)
         served.close_nowait()
+        self._release_quota(served)
         self._evicted += 1
+
+    def _release_quota(self, served: ServedSession) -> None:
+        if self._quota is not None:
+            self._quota.release_session(
+                served.tenant, getattr(served, "quota_counters", 1)
+            )
 
     async def aclose_all(self) -> None:
         """Drain and close every session (server shutdown path).

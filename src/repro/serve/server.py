@@ -26,7 +26,8 @@ normalized results, and remote errors re-raise as the same
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import (
     BackpressureError,
@@ -37,6 +38,7 @@ from repro.errors import (
 from repro.serve import protocol
 from repro.serve.checkpoint import CheckpointScheduler, restore_registry
 from repro.serve.registry import DEFAULT_TENANT, SketchRegistry
+from repro.serve.stats import RateTracker
 
 __all__ = ["SketchServer"]
 
@@ -55,6 +57,16 @@ class SketchServer:
         persistence).
     checkpoint_interval:
         Seconds between background checkpoint passes.
+    quota:
+        Optional :class:`~repro.serve.quota.QuotaManager` with the
+        per-tenant limits this server enforces.
+    tiering:
+        Optional :class:`~repro.serve.tiering.AccuracyTiering`; evictions
+        then demote + spill instead of discarding (see
+        ``docs/operations.md``).
+
+    ``quota`` / ``tiering`` configure the registry this constructor
+    builds; pass a pre-wired registry instead when supplying your own.
     """
 
     def __init__(
@@ -67,12 +79,21 @@ class SketchServer:
         default_ttl: Optional[float] = None,
         queue_maxsize: int = 64,
         coalesce: int = 8,
+        quota=None,
+        tiering=None,
     ) -> None:
+        if registry is not None and (quota is not None or tiering is not None):
+            raise InvalidParameterError(
+                "pass quota/tiering either to the registry or to the server, "
+                "not both — a pre-built registry keeps its own wiring"
+            )
         self._registry = registry or SketchRegistry(
             max_sessions=max_sessions,
             default_ttl=default_ttl,
             queue_maxsize=queue_maxsize,
             coalesce=coalesce,
+            quota=quota,
+            tiering=tiering,
         )
         self._checkpointer = (
             CheckpointScheduler(
@@ -84,6 +105,8 @@ class SketchServer:
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._connections = 0
         self._stopped = False
+        self._started_at = time.perf_counter()
+        self._ingest_rate = RateTracker()
 
     # ------------------------------------------------------------------
     # Construction / introspection
@@ -98,7 +121,14 @@ class SketchServer:
         """
         registry_kwargs = {
             key: kwargs.pop(key)
-            for key in ("max_sessions", "default_ttl", "queue_maxsize", "coalesce")
+            for key in (
+                "max_sessions",
+                "default_ttl",
+                "queue_maxsize",
+                "coalesce",
+                "quota",
+                "tiering",
+            )
             if key in kwargs
         }
         registry = restore_registry(checkpoint_dir, **registry_kwargs)
@@ -130,6 +160,96 @@ class SketchServer:
     def connections_served(self) -> int:
         """TCP connections accepted over the server's lifetime."""
         return self._connections
+
+    def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
+        """One JSON-safe operational snapshot (the ``metrics`` op's payload).
+
+        Aggregates the per-session :class:`~repro.serve.session.ServeStats`
+        counters, the registry's eviction/tiering/quota state and the
+        shared query-latency histograms.  ``ingest.rows_per_sec`` is
+        measured between consecutive ``metrics()`` calls (``None`` on the
+        first); every hot-path contribution to this snapshot is a plain
+        counter increment, so calling it is cheap even at 100k+ sessions
+        (one O(sessions) scan per call, no per-row work).
+
+        With ``detail=True`` the queue section additionally lists the ten
+        deepest per-session queues as ``[tenant, name, depth]`` rows.
+        """
+        registry = self._registry
+        rows_applied = rows_enqueued = failed_batches = 0
+        batches_enqueued = batches_applied = batches_coalesced = 0
+        depth_total = depth_max = live = 0
+        deepest: List[Tuple[int, str, str]] = []
+        for served in registry:
+            live += 1
+            stats = served.stats
+            rows_applied += stats.rows_applied
+            rows_enqueued += stats.rows_enqueued
+            failed_batches += stats.failed_batches
+            batches_enqueued += stats.batches_enqueued
+            batches_applied += stats.batches_applied
+            batches_coalesced += stats.batches_coalesced
+            depth = served.queue_depth
+            depth_total += depth
+            if depth > depth_max:
+                depth_max = depth
+            if detail and depth > 0:
+                deepest.append((depth, served.tenant, served.name))
+        applies = batches_applied if batches_applied else None
+        snapshot: Dict[str, Any] = {
+            "uptime_sec": time.perf_counter() - self._started_at,
+            "connections_served": self._connections,
+            "sessions": {
+                "live": live,
+                "max_sessions": registry.max_sessions,
+                "evicted_total": registry.evicted_total,
+                # NOTE: AccuracyTiering is sized (its spill index), so an
+                # emptied tier is falsy — test identity, not truth.
+                "spilled": (
+                    len(registry.tiering) if registry.tiering is not None else 0
+                ),
+            },
+            "ingest": {
+                "rows_applied": rows_applied,
+                "rows_enqueued": rows_enqueued,
+                "rows_pending": rows_enqueued - rows_applied,
+                "rows_per_sec": self._ingest_rate.sample(rows_applied),
+                "batches_enqueued": batches_enqueued,
+                "batches_applied": batches_applied,
+                "batches_coalesced": batches_coalesced,
+                "coalesce_ratio": (
+                    None
+                    if applies is None
+                    else (batches_applied + batches_coalesced) / applies
+                ),
+                "failed_batches": failed_batches,
+            },
+            "queues": {
+                "depth_total": depth_total,
+                "depth_max": depth_max,
+            },
+            "queries": registry.metrics.as_dict(),
+            "quota": (
+                registry.quota.as_dict() if registry.quota is not None else None
+            ),
+            "tiering": (
+                registry.tiering.stats() if registry.tiering is not None else None
+            ),
+            "checkpoint": (
+                {
+                    "written": self._checkpointer.checkpoints_written,
+                    "last_error": self._checkpointer.last_error,
+                }
+                if self._checkpointer is not None
+                else None
+            ),
+        }
+        if detail:
+            deepest.sort(reverse=True)
+            snapshot["queues"]["deepest"] = [
+                [tenant, name, depth] for depth, tenant, name in deepest[:10]
+            ]
+        return snapshot
 
     def __repr__(self) -> str:
         return (
@@ -248,7 +368,10 @@ class SketchServer:
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
         if handler is None:
-            raise InvalidParameterError(f"unknown serve op {op!r}")
+            raise InvalidParameterError(
+                f"unknown serve op {op!r} (known ops: "
+                f"{', '.join(protocol.KNOWN_OPS)})"
+            )
         result = await handler(request)
         return protocol.ok_response(request.get("id"), result)
 
@@ -397,6 +520,9 @@ class SketchServer:
             force=bool(request.get("force", False))
         )
         return {"sessions": len(manifest["sessions"])}
+
+    async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"metrics": self.metrics(detail=bool(request.get("detail", False)))}
 
 
 def _jsonable_info(info: Dict[str, Any]) -> Dict[str, Any]:

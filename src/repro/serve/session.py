@@ -33,7 +33,11 @@ import numpy as np
 
 from repro._typing import Item, ItemPredicate
 from repro.api.session import StreamSession
-from repro.errors import InvalidParameterError, ServerClosedError
+from repro.errors import (
+    InvalidParameterError,
+    QuotaExceededError,
+    ServerClosedError,
+)
 
 __all__ = ["ServedSession", "ServeStats"]
 
@@ -104,6 +108,14 @@ class ServedSession:
         session (``None`` disables TTL eviction).
     clock:
         Monotonic time source (injectable for deterministic tests).
+    quota:
+        Optional :class:`~repro.serve.quota.QuotaManager`; when set, the
+        blocking ingest path sleeps off rate overages and the
+        non-blocking one raises
+        :class:`~repro.errors.QuotaExceededError`.
+    metrics:
+        Optional :class:`~repro.serve.stats.ServeMetrics` recorder shared
+        across the registry; reads report their latency to it.
     """
 
     def __init__(
@@ -116,6 +128,8 @@ class ServedSession:
         coalesce: int = 8,
         ttl: Optional[float] = None,
         clock=time.monotonic,
+        quota=None,
+        metrics=None,
     ) -> None:
         if queue_maxsize < 1:
             raise InvalidParameterError(
@@ -132,6 +146,8 @@ class ServedSession:
         self._coalesce = int(coalesce)
         self._ttl = None if ttl is None else float(ttl)
         self._clock = clock
+        self._quota = quota
+        self._metrics = metrics
         self._writer_task: Optional[asyncio.Task] = None
         self._closed = False
         self._stats = ServeStats()
@@ -139,6 +155,12 @@ class ServedSession:
         #: Rows applied at the last checkpoint (maintained by the
         #: checkpoint scheduler; lets it skip clean sessions).
         self.rows_checkpointed = 0
+        #: Accuracy tier label: ``"hot"`` for freshly created sessions,
+        #: ``"rehydrated"`` after a round trip through the spill tier.
+        self.tier = "hot"
+        #: Capacity the session was demoted to when it was spilled
+        #: (``None`` while it has never been demoted).
+        self.demoted_capacity: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -209,6 +231,8 @@ class ServedSession:
             queue_depth=self.queue_depth,
             queue_maxsize=self._queue.maxsize,
             closed=self._closed,
+            tier=self.tier,
+            demoted_capacity=self.demoted_capacity,
             serving=self._stats.as_dict(),
         )
         return info
@@ -270,8 +294,17 @@ class ServedSession:
         weights: Optional[Iterable[float]] = None,
         timestamps: Optional[Iterable[float]] = None,
     ) -> int:
-        """Enqueue a batch, awaiting queue space (backpressure); returns rows."""
+        """Enqueue a batch, awaiting queue space (backpressure); returns rows.
+
+        Under a tenant rate quota the producer additionally sleeps off any
+        token-bucket debt *before* enqueueing — quota overage surfaces as
+        the same backpressure shape a full queue does.
+        """
         batch = self._prepare_batch(items, weights, timestamps)
+        if self._quota is not None:
+            delay = self._quota.reserve_rows(self._tenant, batch[3])
+            if delay > 0.0:
+                await asyncio.sleep(delay)
         self._ensure_writer()
         await self._queue.put(batch)
         self._account_enqueued(batch[3])
@@ -287,9 +320,20 @@ class ServedSession:
 
         Callers that would rather fail loudly can raise
         :class:`~repro.errors.BackpressureError` themselves — the TCP
-        server's non-blocking ingest op does exactly that.
+        server's non-blocking ingest op does exactly that.  A tenant over
+        its rate quota raises :class:`~repro.errors.QuotaExceededError`
+        here (distinct from the retry-soon ``False``: quota rejections
+        are a policy decision, not transient queue pressure).
         """
         batch = self._prepare_batch(items, weights, timestamps)
+        if self._quota is not None and not self._quota.try_rows(
+            self._tenant, batch[3]
+        ):
+            raise QuotaExceededError(
+                f"tenant {self._tenant!r} is over its ingest rate quota "
+                f"({batch[3]} rows refused for session {self._name!r}); "
+                "slow down, or use the blocking put_batch path"
+            )
         self._ensure_writer()
         try:
             self._queue.put_nowait(batch)
@@ -444,29 +488,33 @@ class ServedSession:
         """Wait until every enqueued batch has been applied."""
         await self._queue.join()
 
-    def estimate(self, item: Item):
+    def _timed(self, op: str, call, *args):
+        """Run one read, reporting its latency to the shared recorder."""
         self.touch()
-        return self._session.estimate(item)
+        if self._metrics is None:
+            return call(*args)
+        started = self._metrics.start()
+        result = call(*args)
+        self._metrics.observe_since(op, started)
+        return result
+
+    def estimate(self, item: Item):
+        return self._timed("estimate", self._session.estimate, item)
 
     def estimates(self) -> Dict[Item, float]:
-        self.touch()
-        return self._session.estimates()
+        return self._timed("estimates", self._session.estimates)
 
     def subset_sum(self, predicate: ItemPredicate):
-        self.touch()
-        return self._session.subset_sum(predicate)
+        return self._timed("subset_sum", self._session.subset_sum, predicate)
 
     def total(self):
-        self.touch()
-        return self._session.total()
+        return self._timed("total", self._session.total)
 
     def heavy_hitters(self, phi: float):
-        self.touch()
-        return self._session.heavy_hitters(phi)
+        return self._timed("heavy_hitters", self._session.heavy_hitters, phi)
 
     def top_k(self, k: int):
-        self.touch()
-        return self._session.top_k(k)
+        return self._timed("top_k", self._session.top_k, k)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,183 @@
+"""Cheap serving-side observability: latency histograms and rate tracking.
+
+Everything here is built to sit on hot paths: one histogram observation
+is a ``bisect`` into a fixed bucket table plus three counter increments,
+and a rate sample is two subtractions.  Nothing allocates per call, and
+every snapshot (:meth:`LatencyHistogram.as_dict`,
+:meth:`ServeMetrics.as_dict`) is plain JSON-safe data, so the server's
+``metrics`` wire op can ship it without translation.
+
+The histogram buckets are *fixed* log-spaced millisecond boundaries
+(10 µs … 5 s) rather than adaptive: fixed buckets make snapshots from
+different sessions, servers and points in time directly addable and
+comparable, which is what operational dashboards need.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "RateTracker", "ServeMetrics", "BUCKET_BOUNDS_MS"]
+
+#: Upper bucket bounds in milliseconds, log-spaced 10 µs – 5 s.  The last
+#: implicit bucket is the overflow (``> 5000 ms``), reported with a
+#: ``None`` bound in snapshots.
+BUCKET_BOUNDS_MS = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with JSON-safe snapshots.
+
+    Quantiles are estimated from the bucket a quantile's rank lands in
+    (reported as that bucket's upper bound), so they are conservative to
+    within one bucket width — plenty for operational percentiles, and
+    O(#buckets) to compute with no sample retention.
+    """
+
+    __slots__ = ("_counts", "count", "total_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (negative clock skews clamp to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        self._counts[bisect_left(BUCKET_BOUNDS_MS, seconds * 1000.0)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Add another histogram's samples into this one (same fixed buckets)."""
+        for index, value in enumerate(other._counts):
+            self._counts[index] += value
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        if other.max_seconds > self.max_seconds:
+            self.max_seconds = other.max_seconds
+
+    def quantile_ms(self, q: float) -> Optional[float]:
+        """Upper bucket bound (ms) covering quantile ``q``; ``None`` if empty.
+
+        Overflow-bucket hits report the observed maximum instead of an
+        unbounded edge.
+        """
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for index, value in enumerate(self._counts):
+            seen += value
+            if seen >= rank and value:
+                if index < len(BUCKET_BOUNDS_MS):
+                    return BUCKET_BOUNDS_MS[index]
+                return self.max_seconds * 1000.0
+        return self.max_seconds * 1000.0
+
+    def buckets(self) -> List[List[Any]]:
+        """``[upper_bound_ms | None, count]`` rows for the non-empty buckets."""
+        bounds = list(BUCKET_BOUNDS_MS) + [None]
+        return [
+            [bounds[index], value]
+            for index, value in enumerate(self._counts)
+            if value
+        ]
+
+    def as_dict(self) -> Dict[str, Any]:
+        mean_ms = (
+            self.total_seconds / self.count * 1000.0 if self.count else None
+        )
+        return {
+            "count": self.count,
+            "mean_ms": mean_ms,
+            "max_ms": self.max_seconds * 1000.0 if self.count else None,
+            "p50_ms": self.quantile_ms(0.50),
+            "p95_ms": self.quantile_ms(0.95),
+            "p99_ms": self.quantile_ms(0.99),
+            "buckets": self.buckets(),
+        }
+
+
+class RateTracker:
+    """Snapshot-to-snapshot rate of a monotonically growing counter.
+
+    The first sample anchors the window and reports ``None``; every later
+    sample reports ``(counter - last_counter) / elapsed`` and re-anchors,
+    so two consecutive ``metrics`` calls measure exactly the traffic
+    between them.
+    """
+
+    __slots__ = ("_timer", "_last_value", "_last_time")
+
+    def __init__(self, *, timer=time.perf_counter) -> None:
+        self._timer = timer
+        self._last_value: Optional[float] = None
+        self._last_time = 0.0
+
+    def sample(self, counter_value: float) -> Optional[float]:
+        now = self._timer()
+        previous_value, previous_time = self._last_value, self._last_time
+        self._last_value, self._last_time = float(counter_value), now
+        if previous_value is None:
+            return None
+        elapsed = now - previous_time
+        if elapsed <= 0.0:
+            return None
+        return (counter_value - previous_value) / elapsed
+
+
+class ServeMetrics:
+    """Per-registry metrics recorder: query latency histograms by op.
+
+    One instance is shared by every session a registry serves; sessions
+    call :meth:`start` / :meth:`observe_since` around each read.  The
+    timer is injectable for deterministic tests (and defaults to
+    ``perf_counter`` rather than the registry's TTL clock, which tests
+    freeze).
+    """
+
+    def __init__(self, *, timer=time.perf_counter) -> None:
+        self._timer = timer
+        self._queries: Dict[str, LatencyHistogram] = {}
+
+    @property
+    def timer(self):
+        return self._timer
+
+    def start(self) -> float:
+        """A timestamp to pass back to :meth:`observe_since`."""
+        return self._timer()
+
+    def observe_since(self, op: str, started: float) -> None:
+        """Record the latency of one ``op`` query begun at ``started``."""
+        self.observe(op, self._timer() - started)
+
+    def observe(self, op: str, seconds: float) -> None:
+        histogram = self._queries.get(op)
+        if histogram is None:
+            histogram = self._queries[op] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def query_count(self, op: Optional[str] = None) -> int:
+        """Samples recorded, for one op or in total."""
+        if op is not None:
+            histogram = self._queries.get(op)
+            return histogram.count if histogram else 0
+        return sum(histogram.count for histogram in self._queries.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe ``{op: histogram}`` snapshot, ops sorted for stability."""
+        return {
+            op: self._queries[op].as_dict() for op in sorted(self._queries)
+        }

@@ -1,0 +1,111 @@
+"""Registry stress test: 100k+ resident sessions plus demotion accuracy.
+
+Two acceptance properties of the multi-tenant hardening layer:
+
+* The registry's per-session bookkeeping stays O(1) per operation — the
+  amortized TTL sweep must make admitting 100 000 sessions linear, and
+  lookups/metrics must still work at that population.
+* A busy session demoted through the §5.5 capacity reduction, spilled
+  to disk and rehydrated answers subset-sum queries within its
+  configured error budget: for single-item subsets the realized
+  RMSE / N must stay under ``ErrorBudget.target_rrmse``, the bound the
+  demoted capacity was solved from (``m >= sqrt(C_S) / target``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import StreamSession
+from repro.core.unbiased_space_saving import UnbiasedSpaceSaving
+from repro.evaluation.metrics import root_mean_squared_error
+from repro.serve import AccuracyTiering, ErrorBudget, SketchRegistry, SketchServer
+
+SESSIONS = 100_000
+TARGET_RRMSE = 0.02  # -> demoted capacity 50 for single-item subsets
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_registry_holds_100k_sessions_and_demotion_meets_error_budget(tmp_path):
+    clock = FakeClock()
+    tiering = AccuracyTiering(
+        tmp_path / "tiers",
+        default_budget=ErrorBudget(target_rrmse=TARGET_RRMSE, min_capacity=8),
+    )
+    registry = SketchRegistry(tiering=tiering, clock=clock)
+
+    # --- populate: 100k tiny resident sessions (no TTL, never evicted) ---
+    for i in range(SESSIONS):
+        registry.adopt(
+            f"tenant{i % 1000}/s{i}",
+            StreamSession(
+                UnbiasedSpaceSaving(capacity=4, seed=3),
+                spec_name="unbiased_space_saving",
+                backend="inline",
+            ),
+        )
+    assert len(registry) == SESSIONS
+
+    # --- one busy session fed a skewed stream, with a TTL so it idles out ---
+    rng = np.random.default_rng(7)
+    stream = np.minimum(rng.zipf(1.3, size=120_000), 5_000)
+    labels, truth_counts = np.unique(stream, return_counts=True)
+    total = float(stream.size)
+
+    busy = registry.create(
+        "busy", "unbiased_space_saving", size=400, seed=11, ttl=60.0
+    )
+    busy.session.update_batch(stream)
+    busy.stats.rows_applied = busy.stats.rows_enqueued = stream.size
+
+    # Idle it past its TTL: the sweep demotes (§5.5), spills, releases RAM.
+    clock.advance(61.0)
+    assert registry.sweep() == [("default", "busy")]
+    assert len(registry) == SESSIONS
+    assert tiering.holds(("default", "busy"))
+    stats = tiering.stats()
+    assert stats["demotions"] == 1
+    assert stats["rehydrations"] == 0
+    assert stats["last_error"] is None
+
+    # --- rehydrate transparently and check the realized error budget ---
+    revived = registry.get("busy")
+    assert revived.tier == "rehydrated"
+    assert revived.demoted_capacity == 50  # ceil(sqrt(1) / 0.02)
+    assert revived.stats.rows_applied == stream.size
+    # Totals survive demotion up to float accumulation (weight is
+    # conserved by the §5.5 reduction).
+    assert revived.total().estimate == pytest.approx(total, rel=1e-9)
+
+    estimates = revived.estimates()
+    assert len(estimates) <= 50
+    # Single-item subset sums across the full true support (items the
+    # demoted sketch dropped answer 0): the budget bounds RMSE relative
+    # to the stream total by target_rrmse.
+    answered = [float(estimates.get(int(label), 0.0)) for label in labels]
+    realized = root_mean_squared_error(answered, truth_counts.astype(float)) / total
+    assert realized <= TARGET_RRMSE
+
+    # --- the population is still fully serveable around it ---
+    sampled = registry.get("tenant500/s500")
+    assert sampled.total().estimate == 0.0
+    assert registry.get("busy") is revived  # second get: already live
+
+    # --- and the server's O(sessions) metrics scan works at this scale ---
+    server = SketchServer(registry=registry)
+    snapshot = server.metrics(detail=True)
+    assert snapshot["sessions"]["live"] == SESSIONS + 1
+    assert snapshot["ingest"]["rows_applied"] == stream.size
+    assert snapshot["queues"]["deepest"] == []
+    assert snapshot["tiering"]["rehydrations"] == 1

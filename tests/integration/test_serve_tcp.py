@@ -20,6 +20,7 @@ import pytest
 import repro
 from repro.errors import (
     InvalidParameterError,
+    QuotaExceededError,
     SerializationError,
     SessionNotFoundError,
 )
@@ -302,6 +303,92 @@ class TestTCPProtocol:
         sent, estimate = run(scenario())
         assert sent == 400
         assert estimate == 400.0
+
+
+# ----------------------------------------------------------------------
+# Production hardening over the wire: metrics, quotas, tiering
+# ----------------------------------------------------------------------
+class TestTCPHardening:
+    def test_metrics_op_returns_live_counters(self):
+        async def scenario():
+            server, client = await _tcp_server()
+            try:
+                await client.create("s", "unbiased_space_saving", size=64, seed=0)
+                await client.update_batch("s", ["a", "b", "a"])
+                await client.flush("s")
+                await client.total("s")
+                await client.estimate("s", "a")
+                return await client.metrics(detail=True)
+            finally:
+                await client.close()
+                await server.stop()
+
+        snapshot = run(scenario())
+        # The snapshot crossed the JSON wire and still carries live data.
+        assert snapshot["sessions"]["live"] == 1
+        assert snapshot["ingest"]["rows_applied"] == 3
+        assert snapshot["queries"]["total"]["count"] == 1
+        assert snapshot["queries"]["estimate"]["p99_ms"] is not None
+        assert snapshot["connections_served"] >= 1
+        assert snapshot["uptime_sec"] > 0.0
+
+    def test_quota_error_maps_over_the_wire(self):
+        from repro.serve import QuotaManager, TenantQuota
+
+        async def scenario():
+            quota = QuotaManager(
+                default=TenantQuota(max_sessions=1, max_rows_per_sec=100.0)
+            )
+            server = SketchServer(quota=quota)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port)
+            try:
+                await client.create("a", "unbiased_space_saving", size=16, seed=0)
+                with pytest.raises(QuotaExceededError):
+                    await client.create(
+                        "b", "unbiased_space_saving", size=16, seed=0
+                    )
+                # The connection survived the refusal...
+                assert (await client.ping())["pong"] is True
+                # ...and the rejection is visible in the metrics snapshot.
+                snapshot = await client.metrics()
+                assert snapshot["quota"]["sessions_rejected"] == 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_info_reports_tier_over_the_wire(self, tmp_path):
+        from repro.serve import AccuracyTiering, ErrorBudget
+
+        async def scenario():
+            tiering = AccuracyTiering(
+                tmp_path / "tiers",
+                default_budget=ErrorBudget(target_rrmse=0.02, min_capacity=16),
+            )
+            server = SketchServer(tiering=tiering, max_sessions=1)
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port)
+            try:
+                await client.create("old", "unbiased_space_saving", size=400, seed=0)
+                await client.update_batch("old", [f"i{i % 30}" for i in range(1000)])
+                await client.flush("old")
+                # Creating a second session LRU-evicts "old" into the spill
+                # tier; the next access rehydrates it transparently.
+                await client.create("new", "unbiased_space_saving", size=16, seed=1)
+                info = await client.info("old")
+                assert info["tier"] == "rehydrated"
+                assert info["demoted_capacity"] == 50
+                total = await client.total("old")
+                assert total.estimate == 1000.0
+                snapshot = await client.metrics()
+                assert snapshot["tiering"]["rehydrations"] == 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
 
 
 # ----------------------------------------------------------------------

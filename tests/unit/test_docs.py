@@ -25,6 +25,8 @@ def test_docs_tree_exists():
     for required in (
         "docs/README.md",
         "docs/architecture.md",
+        "docs/operations.md",
+        "docs/serve.md",
         "docs/windows.md",
         "docs/api/index.md",
         "docs/api/core.md",
@@ -43,6 +45,10 @@ def test_docs_doctests_pass():
 
 def test_docs_links_resolve():
     assert check_docs.check_links() == []
+
+
+def test_docs_pages_reachable_from_index():
+    assert check_docs.check_reachability() == []
 
 
 def test_github_slugs():

@@ -1,0 +1,324 @@
+"""Unit tests for per-tenant serving quotas (:mod:`repro.serve.quota`).
+
+Covers the token bucket under injected-clock jumps (forward, zero and
+backward), the debt-based serialization of concurrent producers sharing
+one tenant, and the admission limits (sessions, resident counters)
+enforced by the registry on create/adopt/drop/evict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import InvalidParameterError, QuotaExceededError
+from repro.serve import (
+    QuotaManager,
+    SketchRegistry,
+    SketchServer,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    """A manually-driven monotonic clock (jumps may go backward)."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 30.0, clock=clock)
+        assert bucket.tokens == 30.0
+        assert bucket.try_acquire(30.0)
+        assert not bucket.try_acquire(1.0)
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 100.0, clock=clock)
+        assert bucket.try_acquire(100.0)
+        clock.advance(2.5)
+        assert bucket.tokens == pytest.approx(25.0)
+        assert bucket.try_acquire(25.0)
+        assert not bucket.try_acquire(0.1)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 50.0, clock=clock)
+        clock.advance(1e6)  # a huge forward jump mints at most one burst
+        assert bucket.tokens == 50.0
+
+    def test_backward_clock_jump_keeps_balance(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 100.0, clock=clock)
+        assert bucket.try_acquire(60.0)
+        clock.advance(-500.0)  # adjusted clock must not mint or burn tokens
+        assert bucket.tokens == pytest.approx(40.0)
+        # ...and refill resumes from the new origin, not the old one.
+        clock.advance(1.0)
+        assert bucket.tokens == pytest.approx(50.0)
+
+    def test_zero_elapsed_is_a_no_op(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10.0, 100.0, clock=clock)
+        assert bucket.try_acquire(30.0)
+        assert bucket.tokens == pytest.approx(70.0)
+        assert bucket.tokens == pytest.approx(70.0)
+
+    def test_reserve_runs_a_debt_with_increasing_delays(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100.0, 100.0, clock=clock)
+        assert bucket.reserve(100.0) == 0.0
+        # Two further producers reserving concurrently get serialized:
+        # each sees the debt the previous one left.
+        first = bucket.reserve(50.0)
+        second = bucket.reserve(50.0)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+        # Waiting the quoted delay pays the debt off exactly.
+        clock.advance(second)
+        assert bucket.tokens == pytest.approx(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(0.0)
+        with pytest.raises(InvalidParameterError):
+            TokenBucket(10.0, 0.0)
+
+    def test_burst_defaults_to_one_second_of_rate(self):
+        bucket = TokenBucket(7.0, clock=FakeClock())
+        assert bucket.burst == 7.0
+
+
+# ----------------------------------------------------------------------
+# TenantQuota / QuotaManager
+# ----------------------------------------------------------------------
+class TestQuotaManager:
+    def test_quota_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TenantQuota(max_sessions=0)
+        with pytest.raises(InvalidParameterError):
+            TenantQuota(max_rows_per_sec=-1.0)
+        with pytest.raises(InvalidParameterError):
+            TenantQuota(max_resident_counters=0)
+
+    def test_unlisted_tenant_is_unlimited_without_default(self):
+        manager = QuotaManager(clock=FakeClock())
+        assert manager.reserve_rows("anyone", 10**9) == 0.0
+        assert manager.try_rows("anyone", 10**9)
+        manager.acquire_session("anyone", 10**9)
+
+    def test_per_tenant_overrides_default(self):
+        clock = FakeClock()
+        manager = QuotaManager(
+            default=TenantQuota(max_sessions=1),
+            per_tenant={"big": TenantQuota(max_sessions=3)},
+            clock=clock,
+        )
+        manager.acquire_session("small")
+        with pytest.raises(QuotaExceededError):
+            manager.acquire_session("small")
+        for _ in range(3):
+            manager.acquire_session("big")
+        with pytest.raises(QuotaExceededError):
+            manager.acquire_session("big")
+
+    def test_resident_counter_quota(self):
+        manager = QuotaManager(
+            default=TenantQuota(max_resident_counters=100), clock=FakeClock()
+        )
+        manager.acquire_session("t", 60)
+        with pytest.raises(QuotaExceededError):
+            manager.acquire_session("t", 41)
+        manager.acquire_session("t", 40)
+        manager.release_session("t", 60)
+        manager.acquire_session("t", 60)
+
+    def test_rejections_are_counted(self):
+        clock = FakeClock()
+        manager = QuotaManager(
+            default=TenantQuota(max_sessions=1, max_rows_per_sec=10.0),
+            clock=clock,
+        )
+        manager.acquire_session("t")
+        with pytest.raises(QuotaExceededError):
+            manager.acquire_session("t")
+        assert manager.try_rows("t", 10)
+        assert not manager.try_rows("t", 1)
+        snapshot = manager.as_dict()
+        assert snapshot["sessions_rejected"] == 1
+        assert snapshot["rows_rejected"] == 1
+        assert snapshot["tenants"]["t"]["sessions"] == 1
+
+    def test_refill_across_clock_jump_unblocks_rate(self):
+        clock = FakeClock()
+        manager = QuotaManager(
+            default=TenantQuota(max_rows_per_sec=100.0), clock=clock
+        )
+        assert manager.try_rows("t", 100)
+        assert not manager.try_rows("t", 50)
+        clock.advance(0.5)
+        assert manager.try_rows("t", 50)
+        clock.advance(-10.0)  # backward jump: no free tokens either
+        assert not manager.try_rows("t", 1)
+
+
+# ----------------------------------------------------------------------
+# Enforcement through the served ingest paths
+# ----------------------------------------------------------------------
+class TestServedSessionQuota:
+    def _registry(self, quota, **kwargs):
+        return SketchRegistry(quota=quota, **kwargs)
+
+    def test_offer_path_raises_over_rate(self):
+        clock = FakeClock()
+        quota = QuotaManager(
+            default=TenantQuota(max_rows_per_sec=100.0), clock=clock
+        )
+        registry = self._registry(quota, clock=clock)
+
+        async def drive():
+            served = registry.create(
+                "clicks", "unbiased_space_saving", size=16, seed=0
+            )
+            assert served.offer_batch(["a"] * 100)
+            with pytest.raises(QuotaExceededError):
+                served.offer_batch(["a"])
+            clock.advance(1.0)
+            assert served.offer_batch(["a"] * 100)
+            await served.drain()
+            return served.stats.rows_applied
+
+        assert asyncio.run(drive()) == 200
+
+    def test_put_path_sleeps_off_the_debt(self):
+        # Real clock here: the blocking path must actually delay, and the
+        # delay must scale with the reserved debt.
+        quota = QuotaManager(default=TenantQuota(max_rows_per_sec=4000.0))
+        registry = self._registry(quota)
+
+        async def drive():
+            served = registry.create(
+                "clicks", "unbiased_space_saving", size=16, seed=0
+            )
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await served.put_batch(["a"] * 4000)  # burst: immediate
+            burst_elapsed = loop.time() - started
+            await served.put_batch(["a"] * 400)  # debt: ~0.1 s
+            throttled_elapsed = loop.time() - started
+            await served.drain()
+            return burst_elapsed, throttled_elapsed
+
+        burst_elapsed, throttled_elapsed = asyncio.run(drive())
+        assert burst_elapsed < 0.05
+        assert throttled_elapsed >= 0.09
+        assert quota.throttle_events == 1
+        assert quota.rows_throttled == 400
+
+    def test_concurrent_producers_of_one_tenant_serialize(self):
+        # Many producers race put_batch on one tenant; the token bucket's
+        # debt accounting must serialize them so the total wall time is
+        # (total_rows - burst) / rate, not one burst each.
+        quota = QuotaManager(
+            default=TenantQuota(max_rows_per_sec=8000.0, burst_rows=2000.0)
+        )
+        registry = self._registry(quota)
+
+        async def producer(served, rows):
+            await served.put_batch(["x"] * rows)
+
+        async def drive():
+            served = registry.create(
+                "clicks", "unbiased_space_saving", size=16, seed=0
+            )
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            # 4 producers x 1000 rows = 4000 rows against a 2000 burst:
+            # 2000 rows ride the burst, 2000 must wait ~0.25 s at 8k/s.
+            await asyncio.gather(
+                *(producer(served, 1000) for _ in range(4))
+            )
+            elapsed = loop.time() - started
+            await served.drain()
+            return elapsed, served.stats.rows_applied
+
+        elapsed, applied = asyncio.run(drive())
+        assert applied == 4000
+        assert elapsed >= 0.2  # rate limit actually bit
+        assert elapsed < 2.0  # ...but did not serialize the burst away
+
+    def test_race_between_try_and_reserve_is_consistent(self):
+        # Interleaved non-blocking and blocking producers on one bucket:
+        # accepted rows can never exceed burst + rate * elapsed.
+        clock = FakeClock()
+        quota = QuotaManager(
+            default=TenantQuota(max_rows_per_sec=100.0, burst_rows=100.0),
+            clock=clock,
+        )
+        accepted = 0
+        for step in range(50):
+            if quota.try_rows("t", 10):
+                accepted += 10
+            delay = quota.reserve_rows("t", 5)
+            accepted += 5  # blocking path always admits, after a delay
+            if delay:
+                clock.advance(delay)
+        budget = 100.0 + 100.0 * (clock.now - 1000.0)
+        assert accepted <= budget + 1e-6
+
+    def test_admission_quota_on_create_and_release_on_drop(self):
+        quota = QuotaManager(default=TenantQuota(max_sessions=1))
+        registry = self._registry(quota)
+        registry.create("a", "unbiased_space_saving", size=16, seed=0)
+        with pytest.raises(QuotaExceededError):
+            registry.create("b", "unbiased_space_saving", size=16, seed=0)
+        registry.drop("a")
+        registry.create("b", "unbiased_space_saving", size=16, seed=0)
+
+    def test_resident_counters_scale_with_shards(self):
+        quota = QuotaManager(default=TenantQuota(max_resident_counters=1000))
+        registry = self._registry(quota)
+        registry.create(
+            "sharded",
+            "unbiased_space_saving",
+            size=200,
+            seed=0,
+            backend="sharded",
+            num_shards=4,
+        )
+        assert quota.usage("default")["resident_counters"] == 800
+        with pytest.raises(QuotaExceededError):
+            registry.create("more", "unbiased_space_saving", size=201, seed=0)
+        registry.create("fits", "unbiased_space_saving", size=200, seed=0)
+
+    def test_server_level_quota_wiring_and_conflict(self):
+        quota = QuotaManager(default=TenantQuota(max_sessions=1))
+
+        async def drive():
+            async with SketchServer(quota=quota) as server:
+                client = server.client
+                await client.create(
+                    "a", "unbiased_space_saving", size=16, seed=0
+                )
+                with pytest.raises(QuotaExceededError):
+                    await client.create(
+                        "b", "unbiased_space_saving", size=16, seed=0
+                    )
+
+        asyncio.run(drive())
+        with pytest.raises(InvalidParameterError):
+            SketchServer(registry=SketchRegistry(), quota=quota)

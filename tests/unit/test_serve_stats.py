@@ -1,0 +1,179 @@
+"""Unit tests for the serving observability layer (:mod:`repro.serve.stats`).
+
+Covers the fixed-bucket latency histogram (observation, bucket-bound
+quantiles, merging, JSON-safe snapshots), the snapshot-delta rate
+tracker, the shared per-registry metrics recorder, and the live metrics
+snapshot assembled by ``SketchServer.metrics()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import LatencyHistogram, ServeMetrics, SketchServer
+from repro.serve.stats import BUCKET_BOUNDS_MS, RateTracker
+
+
+class FakeTimer:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram
+# ----------------------------------------------------------------------
+class TestLatencyHistogram:
+    def test_empty_snapshot(self):
+        histogram = LatencyHistogram()
+        snapshot = histogram.as_dict()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_ms"] is None
+        assert snapshot["p99_ms"] is None
+        assert snapshot["buckets"] == []
+
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.000005)  # 5 µs -> first bucket (<= 0.01 ms)
+        histogram.observe(0.0004)  # 0.4 ms -> <= 0.5 ms bucket
+        histogram.observe(0.003)  # 3 ms -> <= 5 ms bucket
+        assert histogram.buckets() == [[0.01, 1], [0.5, 1], [5.0, 1]]
+        assert histogram.count == 3
+
+    def test_negative_latency_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.buckets() == [[BUCKET_BOUNDS_MS[0], 1]]
+        assert histogram.total_seconds == 0.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.observe(12.5)  # 12500 ms, past the last 5000 ms bound
+        assert histogram.buckets() == [[None, 1]]
+        assert histogram.quantile_ms(0.5) == pytest.approx(12500.0)
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(0.0002)  # 0.2 ms -> 0.25 ms bucket
+        histogram.observe(0.040)  # 40 ms -> 50 ms bucket
+        assert histogram.quantile_ms(0.50) == 0.25
+        assert histogram.quantile_ms(0.95) == 0.25
+        assert histogram.quantile_ms(1.0) == 50.0
+
+    def test_merge_adds_samples(self):
+        left, right = LatencyHistogram(), LatencyHistogram()
+        left.observe(0.001)
+        right.observe(0.1)
+        right.observe(0.1)
+        left.merge(right)
+        assert left.count == 3
+        assert left.max_seconds == pytest.approx(0.1)
+        assert left.quantile_ms(0.99) == 100.0
+
+    def test_snapshot_is_json_safe(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.0003)
+        histogram.observe(10.0)
+        round_trip = json.loads(json.dumps(histogram.as_dict()))
+        assert round_trip["count"] == 2
+        assert round_trip["max_ms"] == pytest.approx(10000.0)
+
+
+# ----------------------------------------------------------------------
+# RateTracker
+# ----------------------------------------------------------------------
+class TestRateTracker:
+    def test_first_sample_anchors_and_returns_none(self):
+        tracker = RateTracker(timer=FakeTimer())
+        assert tracker.sample(100) is None
+
+    def test_rate_is_delta_over_elapsed(self):
+        timer = FakeTimer()
+        tracker = RateTracker(timer=timer)
+        tracker.sample(100)
+        timer.advance(2.0)
+        assert tracker.sample(300) == pytest.approx(100.0)
+        timer.advance(4.0)
+        assert tracker.sample(300) == pytest.approx(0.0)
+
+    def test_zero_elapsed_returns_none(self):
+        timer = FakeTimer()
+        tracker = RateTracker(timer=timer)
+        tracker.sample(0)
+        assert tracker.sample(50) is None
+
+
+# ----------------------------------------------------------------------
+# ServeMetrics
+# ----------------------------------------------------------------------
+class TestServeMetrics:
+    def test_observe_since_records_per_op(self):
+        timer = FakeTimer()
+        metrics = ServeMetrics(timer=timer)
+        started = metrics.start()
+        timer.advance(0.002)
+        metrics.observe_since("estimate", started)
+        metrics.observe("total", 0.00005)
+        assert metrics.query_count("estimate") == 1
+        assert metrics.query_count("missing") == 0
+        assert metrics.query_count() == 2
+        snapshot = metrics.as_dict()
+        assert list(snapshot) == ["estimate", "total"]  # sorted
+        assert snapshot["estimate"]["p50_ms"] == 2.5
+
+
+# ----------------------------------------------------------------------
+# SketchServer.metrics()
+# ----------------------------------------------------------------------
+class TestServerMetrics:
+    def test_snapshot_shape_and_counters(self):
+        async def drive():
+            async with SketchServer() as server:
+                client = server.client
+                await client.create(
+                    "clicks", "unbiased_space_saving", size=64, seed=0
+                )
+                await client.update_batch("clicks", ["a", "b", "a"])
+                await client.flush("clicks")
+                await client.total("clicks")
+                await client.estimate("clicks", "a")
+                return server.metrics(detail=True)
+
+        snapshot = asyncio.run(drive())
+        assert snapshot["sessions"]["live"] == 1
+        assert snapshot["ingest"]["rows_applied"] == 3
+        assert snapshot["ingest"]["rows_pending"] == 0
+        assert snapshot["queries"]["total"]["count"] == 1
+        assert snapshot["queries"]["estimate"]["count"] == 1
+        assert snapshot["queues"]["depth_total"] == 0
+        assert snapshot["queues"]["deepest"] == []  # only non-empty queues listed
+        assert snapshot["quota"] is None
+        assert snapshot["tiering"] is None
+        # The whole snapshot must survive the wire.
+        json.dumps(snapshot)
+
+    def test_rows_per_sec_is_a_snapshot_delta(self):
+        async def drive():
+            async with SketchServer() as server:
+                client = server.client
+                await client.create(
+                    "clicks", "unbiased_space_saving", size=64, seed=0
+                )
+                first = server.metrics()
+                await client.update_batch("clicks", ["a"] * 500)
+                await client.flush("clicks")
+                second = server.metrics()
+                return first, second
+
+        first, second = asyncio.run(drive())
+        assert first["ingest"]["rows_per_sec"] is None  # anchor sample
+        assert second["ingest"]["rows_per_sec"] > 0.0

@@ -1,0 +1,310 @@
+"""Unit tests for adaptive accuracy tiering (:mod:`repro.serve.tiering`).
+
+Covers the error-budget capacity math, the §5.5 demotion of inline and
+sharded sessions, the spill/rehydrate lifecycle through the registry
+(eviction becomes demotion; a spilled key answers transparently on next
+access), and the interaction corners: drop-while-spilled, duplicate
+create on a spilled key, rehydration blocked by a tenant quota, and
+rehydrate-under-backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro.errors import (
+    InvalidParameterError,
+    QuotaExceededError,
+    SessionNotFoundError,
+)
+from repro.serve import (
+    AccuracyTiering,
+    ErrorBudget,
+    QuotaManager,
+    SketchRegistry,
+    TenantQuota,
+    capacity_for_rrmse,
+)
+from repro.serve.tiering import demote_session
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _fill(session, rows: int = 3000, distinct: int = 40) -> None:
+    session.update_batch([f"item{i % distinct}" for i in range(rows)])
+
+
+# ----------------------------------------------------------------------
+# Error-budget math
+# ----------------------------------------------------------------------
+class TestErrorBudget:
+    def test_capacity_inverts_the_rrmse_bound(self):
+        assert capacity_for_rrmse(0.01) == 100
+        assert capacity_for_rrmse(0.1) == 10
+        # C_S items in the subset loosen the bound by sqrt(C_S).
+        assert capacity_for_rrmse(0.01, subset_items=4) == 200
+
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            capacity_for_rrmse(0.0)
+        with pytest.raises(InvalidParameterError):
+            capacity_for_rrmse(0.01, subset_items=0)
+
+    def test_budget_applies_floor(self):
+        assert ErrorBudget(target_rrmse=0.5, min_capacity=32).demoted_capacity() == 32
+        assert ErrorBudget(target_rrmse=0.01, min_capacity=8).demoted_capacity() == 100
+
+    def test_budget_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ErrorBudget(target_rrmse=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ErrorBudget(min_capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Demotion (§5.5 reduction)
+# ----------------------------------------------------------------------
+class TestDemoteSession:
+    def test_inline_uss_demotes_and_preserves_total(self):
+        session = repro.build("unbiased_space_saving", size=512, seed=7)
+        _fill(session, rows=5000, distinct=300)
+        demoted, capacity = demote_session(session, 64, seed=1)
+        assert capacity == 64
+        assert demoted is not session
+        assert len(demoted.estimates()) <= 64
+        # Totals are exact under USS reduction (every row's weight lands
+        # in exactly one counter, before and after).
+        assert demoted.total().estimate == session.total().estimate
+
+    def test_small_session_passes_through(self):
+        session = repro.build("unbiased_space_saving", size=32, seed=0)
+        _fill(session, rows=100, distinct=10)
+        demoted, capacity = demote_session(session, 64, seed=1)
+        assert capacity is None
+        assert demoted is session
+
+    def test_sharded_session_demotes_through_merged(self):
+        session = repro.build(
+            "unbiased_space_saving", size=128, seed=3, backend="sharded",
+            num_shards=4,
+        )
+        _fill(session, rows=4000, distinct=300)
+        demoted, capacity = demote_session(session, 50, seed=1)
+        assert capacity == 50
+        assert demoted.backend == "inline"
+        assert len(demoted.estimates()) <= 50
+        assert demoted.total().estimate == pytest.approx(4000.0)
+
+    def test_windowed_session_spills_at_full_fidelity(self):
+        session = repro.build(
+            "unbiased_space_saving", size=256, seed=0, window="tumbling:1m"
+        )
+        session.update_batch(["a", "b"], timestamps=[1.0, 2.0])
+        demoted, capacity = demote_session(session, 8, seed=1)
+        assert capacity is None
+        assert demoted is session
+
+
+# ----------------------------------------------------------------------
+# Spill / rehydrate through the registry
+# ----------------------------------------------------------------------
+class TestRegistryTiering:
+    def _registry(self, tmp_path, **kwargs):
+        tiering = AccuracyTiering(
+            tmp_path / "tiers",
+            default_budget=ErrorBudget(target_rrmse=0.02, min_capacity=16),
+        )
+        clock = kwargs.pop("clock", FakeClock())
+        return (
+            SketchRegistry(tiering=tiering, clock=clock, **kwargs),
+            tiering,
+            clock,
+        )
+
+    def test_ttl_eviction_spills_and_get_rehydrates(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path)
+
+        async def drive():
+            served = registry.create(
+                "clicks", "unbiased_space_saving", size=400, seed=1, ttl=10.0
+            )
+            await served.put_batch([f"item{i % 30}" for i in range(2000)])
+            await served.drain()
+            total_before = served.total().estimate
+            clock.advance(11.0)
+            assert registry.sweep() == [("default", "clicks")]
+            assert len(registry) == 0
+            assert tiering.holds(("default", "clicks"))
+            assert tiering.stats()["demotions"] == 1
+            # Transparent rehydration on the next get().
+            revived = registry.get("clicks")
+            assert revived.tier == "rehydrated"
+            assert revived.demoted_capacity == 50  # ceil(1/0.02)
+            assert revived.total().estimate == total_before
+            assert revived.stats.rows_applied == 2000
+            assert not tiering.holds(("default", "clicks"))
+            assert tiering.stats()["rehydrations"] == 1
+            # The rehydrated session keeps ingesting and keeps its TTL.
+            await revived.put_batch(["item1"] * 10)
+            await revived.drain()
+            assert revived.total().estimate == total_before + 10
+            assert revived.ttl == 10.0
+
+        asyncio.run(drive())
+
+    def test_capacity_eviction_spills_lru(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path, max_sessions=2)
+
+        async def drive():
+            first = registry.create("a", "unbiased_space_saving", size=64, seed=0)
+            await first.put_batch(["x"] * 100)
+            await first.drain()
+            registry.create("b", "unbiased_space_saving", size=64, seed=1)
+            registry.create("c", "unbiased_space_saving", size=64, seed=2)
+            assert len(registry) == 2
+            assert tiering.holds(("default", "a"))
+            assert registry.get("a").total().estimate == 100.0
+
+        asyncio.run(drive())
+
+    def test_unserializable_session_falls_back_to_plain_eviction(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path)
+
+        class Opaque:
+            def update(self, item, weight=1.0):
+                pass
+
+        from repro.api.session import StreamSession
+
+        registry.adopt("opaque", StreamSession(Opaque()), ttl=5.0)
+        clock.advance(6.0)
+        registry.sweep()
+        assert not tiering.holds(("default", "opaque"))
+        with pytest.raises(SessionNotFoundError):
+            registry.get("opaque")
+
+    def test_drop_discards_spilled_state(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path)
+        registry.create("clicks", "unbiased_space_saving", size=64, seed=0, ttl=5.0)
+        clock.advance(6.0)
+        registry.sweep()
+        assert tiering.holds(("default", "clicks"))
+        registry.drop("clicks")
+        assert not tiering.holds(("default", "clicks"))
+        with pytest.raises(SessionNotFoundError):
+            registry.get("clicks")
+        # The spill file is gone too.
+        assert list((tmp_path / "tiers").glob("*.tier")) == []
+
+    def test_create_on_spilled_key_is_a_duplicate(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path)
+        registry.create("clicks", "unbiased_space_saving", size=64, seed=0, ttl=5.0)
+        clock.advance(6.0)
+        registry.sweep()
+        with pytest.raises(InvalidParameterError):
+            registry.create("clicks", "unbiased_space_saving", size=64, seed=0)
+        # ...and the spilled state survived the rejected create.
+        assert registry.get("clicks").tier == "rehydrated"
+
+    def test_tenants_are_isolated_in_the_spill_index(self, tmp_path):
+        registry, tiering, clock = self._registry(tmp_path)
+        registry.create(
+            "clicks", "unbiased_space_saving", size=64, seed=0,
+            tenant="a", ttl=5.0,
+        )
+        clock.advance(6.0)
+        registry.sweep()
+        assert tiering.holds(("a", "clicks"))
+        with pytest.raises(SessionNotFoundError):
+            registry.get("clicks", tenant="b")
+        assert registry.get("clicks", tenant="a").tier == "rehydrated"
+
+    def test_rehydration_blocked_by_quota_keeps_spill(self, tmp_path):
+        clock = FakeClock()
+        quota = QuotaManager(
+            default=TenantQuota(max_sessions=1), clock=clock
+        )
+        tiering = AccuracyTiering(tmp_path / "tiers")
+        registry = SketchRegistry(tiering=tiering, quota=quota, clock=clock)
+        registry.create("old", "unbiased_space_saving", size=64, seed=0, ttl=5.0)
+        clock.advance(6.0)
+        registry.sweep()  # spills "old", releasing its quota slot
+        registry.create("busy", "unbiased_space_saving", size=64, seed=1)
+        # The tenant is at max_sessions again: rehydration must refuse —
+        # and must NOT consume the spilled state doing so.
+        with pytest.raises(QuotaExceededError):
+            registry.get("old")
+        assert tiering.holds(("default", "old"))
+        registry.drop("busy")
+        assert registry.get("old").tier == "rehydrated"
+
+    def test_rehydrate_under_backpressure(self, tmp_path):
+        # A spilled session is rehydrated by an ingest access while the
+        # tenant's rate quota is exhausted and other sessions' queues are
+        # saturated: rehydration itself must not deadlock, and the queued
+        # rows must land after the writer resumes.
+        clock = FakeClock()
+        quota = QuotaManager(
+            default=TenantQuota(max_rows_per_sec=1000.0), clock=clock
+        )
+        tiering = AccuracyTiering(tmp_path / "tiers")
+        registry = SketchRegistry(
+            tiering=tiering, quota=quota, clock=clock, queue_maxsize=2
+        )
+
+        async def drive():
+            served = registry.create(
+                "cold", "unbiased_space_saving", size=64, seed=0, ttl=5.0
+            )
+            await served.put_batch(["x"] * 500)
+            await served.drain()
+            clock.advance(6.0)
+            registry.sweep()
+            assert tiering.holds(("default", "cold"))
+            # Exhaust the tenant's rate budget on another session.
+            hot = registry.create("hot", "unbiased_space_saving", size=64, seed=1)
+            assert hot.offer_batch(["y"] * 1000)
+            with pytest.raises(QuotaExceededError):
+                hot.offer_batch(["y"])
+            # Rehydration under rate pressure: the non-blocking path still
+            # refuses rows (rate quota is tenant-wide) but the session is
+            # back and queryable...
+            revived = registry.get("cold")
+            assert revived.tier == "rehydrated"
+            assert revived.total().estimate == 500.0
+            with pytest.raises(QuotaExceededError):
+                revived.offer_batch(["z"] * 10)
+            # ...and the blocking path pays the debt and lands the rows.
+            clock.advance(1.0)  # refill the injected-clock bucket
+            await revived.put_batch(["z"] * 10)
+            await revived.drain()
+            assert revived.total().estimate == 510.0
+
+        asyncio.run(drive())
+
+    def test_spill_failure_degrades_to_plain_eviction(self, tmp_path):
+        tier_dir = tmp_path / "tiers"
+        tiering = AccuracyTiering(tier_dir)
+        clock = FakeClock()
+        registry = SketchRegistry(tiering=tiering, clock=clock)
+        registry.create("clicks", "unbiased_space_saving", size=64, seed=0, ttl=5.0)
+        # Make the tier directory impossible to create.
+        tier_dir.write_text("not a directory")
+        clock.advance(6.0)
+        registry.sweep()
+        assert not tiering.holds(("default", "clicks"))
+        assert tiering.stats()["last_error"] is not None
+        with pytest.raises(SessionNotFoundError):
+            registry.get("clicks")

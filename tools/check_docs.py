@@ -5,7 +5,7 @@ Run from the repository root (the CI ``docs`` job does)::
 
     PYTHONPATH=src python tools/check_docs.py
 
-Two gates, both hard failures:
+Three gates, all hard failures:
 
 1. **Doctests** — every ``>>>`` example in ``docs/**/*.md`` is executed
    with :func:`doctest.testfile` (one shared namespace per page, ELLIPSIS
@@ -15,6 +15,9 @@ Two gates, both hard failures:
    fragments (``page.md#section``) must match a heading in the target
    (GitHub's slug rules: lowercase, punctuation stripped, spaces to
    hyphens).
+3. **Reachability** — every page under ``docs/`` must be reachable from
+   ``docs/README.md`` by following relative markdown links; an orphan
+   page is documentation nobody can navigate to.
 
 The tier-1 suite runs the same checks through
 ``tests/unit/test_docs.py``, so broken docs fail locally before they
@@ -118,8 +121,56 @@ def check_links() -> List[str]:
     return failures
 
 
+def page_links(page: Path) -> List[Path]:
+    """Existing intra-repo files a page links to (fences stripped)."""
+    text = _FENCE_RE.sub("", page.read_text())
+    targets = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        path_part, _, _anchor = target.partition("#")
+        if not path_part:
+            continue
+        resolved = (page.parent / path_part).resolve()
+        if resolved.exists():
+            targets.append(resolved)
+    return targets
+
+
+def check_reachability() -> List[str]:
+    """Every docs page must be reachable from docs/README.md by links.
+
+    Breadth-first walk over the relative links starting at the docs
+    index; anything under ``docs/`` the walk never visits is an orphan —
+    a page that exists but that no reader can navigate to.
+    """
+    index = DOCS_DIR / "README.md"
+    if not index.exists():
+        return ["docs/README.md: the docs index itself is missing"]
+    visited: Set[Path] = set()
+    frontier = [index]
+    while frontier:
+        page = frontier.pop()
+        if page in visited:
+            continue
+        visited.add(page)
+        for target in page_links(page):
+            if target.suffix == ".md" and target not in visited:
+                frontier.append(target)
+    orphans = [page for page in doc_pages() if page not in visited]
+    print(
+        f"reachability: {len(doc_pages())} pages, "
+        f"{len(visited)} reachable from docs/README.md, {len(orphans)} orphaned"
+    )
+    return [
+        f"{page.relative_to(REPO_ROOT)}: not reachable from docs/README.md "
+        "(add a link from the index or a linked page)"
+        for page in orphans
+    ]
+
+
 def main() -> int:
-    failures = run_doctests() + check_links()
+    failures = run_doctests() + check_links() + check_reachability()
     if failures:
         print("\ndocumentation check FAILED:", file=sys.stderr)
         for failure in failures:
