@@ -259,6 +259,87 @@ def run_hardening_scenario(
     }
 
 
+#: Node counts the cluster scaling sweep runs by default.
+CLUSTER_MEMBER_COUNTS = (1, 2, 4)
+
+
+def run_cluster_mode(
+    chunks: List[np.ndarray],
+    *,
+    capacity: int,
+    seed: int,
+    member_counts: Sequence[int] = CLUSTER_MEMBER_COUNTS,
+) -> Dict[str, object]:
+    """Cluster scaling sweep: rows/s through a ClusterRouter at 1, 2, 4 nodes.
+
+    For each node count ``n`` this boots ``n`` in-process
+    :class:`~repro.serve.server.SketchServer` members on loopback ports,
+    fronts them with a :class:`~repro.cluster.ClusterRouter`, creates one
+    key-sharded session with ``shards = n``, and streams the workload
+    through an unmodified ``TCPServeClient`` pointed at the router —
+    so the timing covers JSON framing, the router's scatter, and the
+    members' ingest queues end to end (enqueue through drained flush).
+    Totals are asserted exact (Unbiased Space Saving preserves mass in
+    every shard), so the sweep doubles as an equivalence check.
+
+    The result lands in its own top-level ``cluster`` record section:
+    node-count scaling has no single-process counterpart in ``modes``
+    and must not perturb the perf gate's workload/config identity.
+    """
+    from repro.cluster import ClusterRouter, Member
+    from repro.serve import TCPServeClient
+
+    rows = int(sum(len(chunk) for chunk in chunks))
+
+    async def drive(n: int) -> Dict[str, object]:
+        servers = []
+        members = []
+        for i in range(n):
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            servers.append(server)
+            members.append(Member(f"m{i}", host, port))
+        router = ClusterRouter(members, seed=seed)
+        r_host, r_port = await router.start_tcp("127.0.0.1", 0)
+        client = await TCPServeClient.connect(r_host, r_port)
+        try:
+            await client.create(
+                "bench", "unbiased_space_saving", size=capacity,
+                seed=seed, shards=n,
+            )
+            started = time.perf_counter()
+            for chunk in chunks:
+                await client.update_batch("bench", chunk)
+            await client.flush("bench")
+            elapsed = time.perf_counter() - started
+            total = await client.total("bench")
+            info = await client.info("bench")
+            return {
+                "seconds": round(elapsed, 4),
+                "rows_per_sec": round(rows / elapsed, 1),
+                "total": round(float(total.estimate), 2),
+                "placement": info["cluster"]["members"],
+            }
+        finally:
+            await client.close()
+            await router.stop()
+            for server in servers:
+                await server.stop()
+
+    sweep: Dict[str, object] = {}
+    for count in member_counts:
+        result = asyncio.run(drive(int(count)))
+        assert result["total"] == float(rows), (
+            f"cluster total drifted at n={count}: {result['total']} != {rows}"
+        )
+        sweep[str(int(count))] = result
+    return {
+        "rows": rows,
+        "shards_equal_members": True,
+        "members": sweep,
+    }
+
+
 def run_ingestion_comparison(
     rows: int = 1_000_000,
     *,
@@ -271,11 +352,19 @@ def run_ingestion_comparison(
     num_producers: int = 4,
     seed: int = 0,
     modes: Sequence[str] = ALL_MODES,
+    cluster_members: Sequence[int] = CLUSTER_MEMBER_COUNTS,
 ) -> Dict[str, object]:
     """Time the selected ingestion modes on one workload; build a JSON record."""
+    # "cluster" is opt-in (never part of "all"): it measures node-count
+    # scaling, not another single-process ingest flavor, and reports
+    # into its own record section.
+    cluster_requested = "cluster" in modes
+    modes = [name for name in modes if name != "cluster"]
     unknown = sorted(set(modes) - set(ALL_MODES))
     if unknown:
-        raise ValueError(f"unknown modes {unknown}; expected from {ALL_MODES}")
+        raise ValueError(
+            f"unknown modes {unknown}; expected from {ALL_MODES + ('cluster',)}"
+        )
     modes = [name for name in ALL_MODES if name in set(modes)]
     stream = make_zipf_rows(rows, num_items=num_items, exponent=exponent, seed=seed)
     # Count rounding in the Zipf model can nudge the realized row count.
@@ -431,6 +520,10 @@ def run_ingestion_comparison(
         # perf gate pins the workload/config identity sections, and this
         # scenario runs at its own fixed scale regardless of --rows.
         record["hardening"] = run_hardening_scenario(capacity=capacity, seed=seed)
+    if cluster_requested:
+        record["cluster"] = run_cluster_mode(
+            chunks, capacity=capacity, seed=seed, member_counts=cluster_members
+        )
     return record
 
 
@@ -471,8 +564,15 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         "--modes",
         default="all",
         help="comma-separated subset of "
-        f"{','.join(ALL_MODES)} (or 'all'); speedups report vs scalar "
-        "when it is included",
+        f"{','.join(ALL_MODES)},cluster (or 'all'; 'all' excludes the "
+        "opt-in cluster sweep); speedups report vs scalar when it is "
+        "included",
+    )
+    parser.add_argument(
+        "--cluster-members",
+        default=",".join(str(n) for n in CLUSTER_MEMBER_COUNTS),
+        help="comma-separated node counts for the cluster sweep "
+        "(only used when --modes includes 'cluster')",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -498,6 +598,11 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         num_producers=args.num_producers,
         seed=args.seed,
         modes=modes,
+        cluster_members=tuple(
+            int(value)
+            for value in args.cluster_members.split(",")
+            if value.strip()
+        ),
     )
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -513,6 +618,12 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
             for key, value in record["speedup"].items()
         )
         print(f"speedup vs scalar: {summary}")
+    if "cluster" in record:
+        for count, stats in record["cluster"]["members"].items():
+            print(
+                f"cluster n={count}: {stats['seconds']:8.3f}s  "
+                f"{stats['rows_per_sec']:>12,.0f} rows/s"
+            )
     print(f"(record written to {args.output})")
     return record
 

@@ -22,6 +22,9 @@ out by subsystem:
   asyncio process hosting many named sessions behind bounded ingest
   queues, with TTL/LRU eviction, background checkpointing and a
   JSON-lines TCP protocol.
+* :mod:`repro.cluster` — multi-node serving: a consistent-hash router
+  over many sketch servers, key-sharded scatter-gather sessions and
+  checkpoint-based replica fail-over behind the same wire protocol.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
 
 Every sketch ingests rows one at a time via ``update(item, weight)``, in
@@ -48,6 +51,7 @@ from repro.api import (
     capabilities,
     supports,
 )
+from repro.cluster import ClusterRouter, HashRing, Member
 from repro.core import (
     AdaptiveUnbiasedSpaceSaving,
     DeterministicSpaceSaving,
@@ -81,11 +85,14 @@ from repro.windows import (
 __all__ = [
     "AdaptiveUnbiasedSpaceSaving",
     "CapabilityError",
+    "ClusterRouter",
     "DecayedWindowSketch",
     "DeterministicSpaceSaving",
     "EstimateWithError",
     "ForwardDecaySketch",
     "GeneralizedSpaceSaving",
+    "HashRing",
+    "Member",
     "ParallelSketchExecutor",
     "QueryResult",
     "ShardedSketch",

@@ -1,0 +1,116 @@
+"""Router-side connections to cluster members.
+
+A :class:`MemberConnection` wraps one member's
+:class:`~repro.serve.client.TCPServeClient` with lazy (re)connection and
+a uniform failure surface: any transport-level failure — dial refused
+after the retry budget, a mid-request timeout, the peer dropping the
+socket — invalidates the cached connection and raises
+:class:`~repro.errors.MemberDownError`, which is the single signal the
+router's fail-over logic reacts to.  *Application* errors coming back in
+protocol envelopes (``SessionNotFoundError``, quota errors, …) pass
+through untouched: a member answering with a typed error is alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.errors import MemberDownError, ServeError, ServerClosedError
+from repro.serve.client import TCPServeClient
+
+from repro.cluster.membership import Member
+
+__all__ = ["MemberConnection"]
+
+
+class MemberConnection:
+    """A lazily-dialed, auto-invalidating client for one cluster member."""
+
+    def __init__(
+        self,
+        member: Member,
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        self._member = member
+        self._retries = retries
+        self._backoff = backoff
+        self._request_timeout = request_timeout
+        self._client: Optional[TCPServeClient] = None
+        self._lock = asyncio.Lock()
+
+    @property
+    def member(self) -> Member:
+        return self._member
+
+    @property
+    def connected(self) -> bool:
+        return self._client is not None
+
+    def _down(self, exc: BaseException) -> MemberDownError:
+        return MemberDownError(
+            f"member {self._member.member_id!r} at "
+            f"{self._member.host}:{self._member.port} is unreachable: {exc}"
+        )
+
+    async def _ensure(self) -> TCPServeClient:
+        if self._client is None:
+            async with self._lock:
+                if self._client is None:
+                    try:
+                        self._client = await TCPServeClient.connect(
+                            self._member.host,
+                            self._member.port,
+                            retries=self._retries,
+                            backoff=self._backoff,
+                            request_timeout=self._request_timeout,
+                        )
+                    except (OSError, ServerClosedError) as exc:
+                        raise self._down(exc) from exc
+        return self._client
+
+    async def invalidate(self) -> None:
+        """Drop the cached connection (best effort); next call redials."""
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                await client.close()
+            except OSError:
+                pass
+
+    async def call(self, op: str, **fields) -> Dict[str, Any]:
+        """One protocol op against the member; transport loss raises
+        :class:`MemberDownError` (application errors re-raise unchanged)."""
+        client = await self._ensure()
+        try:
+            return await client.request(op, **fields)
+        except MemberDownError:
+            raise
+        except (OSError, ConnectionError, ServerClosedError) as exc:
+            await self.invalidate()
+            raise self._down(exc) from exc
+        except ServeError as exc:
+            # A *plain* ServeError from the TCP client is transport-level
+            # (closed connection, request timeout) — the connection is no
+            # longer usable either way.  Subclasses are typed remote
+            # errors from a live member and propagate untouched.
+            if type(exc) is ServeError:
+                await self.invalidate()
+                raise self._down(exc) from exc
+            raise
+
+    async def ping(self) -> Dict[str, Any]:
+        """Health probe: one ``ping`` round trip."""
+        return await self.call("ping")
+
+    async def close(self) -> None:
+        await self.invalidate()
+
+    def __repr__(self) -> str:
+        return (
+            f"MemberConnection({self._member.member_id!r}, "
+            f"connected={self.connected})"
+        )

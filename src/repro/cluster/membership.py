@@ -1,0 +1,222 @@
+"""Cluster membership: the consistent-hash ring and member health state.
+
+The ring places every member at ``replicas`` pseudo-random points (virtual
+nodes) on a 64-bit circle, using the package's stable keyed hash
+(:func:`repro.distributed.partition.stable_hash_64`) for both member
+points and keys — so routing is a pure function of the member set, the
+replica count and the seed, identical across processes and router
+restarts.  A key is owned by the first member point at or after the key's
+hash, wrapping around; removing one member hands exactly that member's
+arcs to its ring successors (≈ ``K/N`` of ``K`` keys move), and adding
+one claims ≈ ``K/(N+1)`` — the classic consistent-hashing stability
+property the unit tests assert.
+
+:class:`ClusterMembership` layers liveness on top: each
+:class:`Member` carries an address and a health flag, and routing walks
+the ring's preference order skipping members marked down — which is all
+fail-over needs to re-map a dead member's hash range deterministically.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.distributed.partition import stable_hash_64
+from repro.errors import ClusterError, InvalidParameterError
+
+__all__ = ["HashRing", "Member", "ClusterMembership", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per member.  64 keeps the largest/smallest member load
+#: ratio within ~1.3x for small clusters while the ring stays tiny
+#: (N * 64 points, bisected in O(log) per lookup).
+DEFAULT_REPLICAS = 64
+
+
+class HashRing:
+    """A consistent-hash ring over opaque member ids.
+
+    Pure and immutable: two rings built from the same ``(member_ids,
+    replicas, seed)`` — in any member order — route every key identically.
+    Build a new ring to model membership change; the stability tests
+    compare ``owner`` maps across such rebuilds.
+    """
+
+    def __init__(
+        self,
+        member_ids: Iterable[str],
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+        seed: int = 0,
+    ) -> None:
+        members = sorted(set(member_ids))
+        if not members:
+            raise InvalidParameterError("a hash ring needs at least one member")
+        if replicas < 1:
+            raise InvalidParameterError(f"replicas must be >= 1, got {replicas}")
+        self._members: Tuple[str, ...] = tuple(members)
+        self._replicas = int(replicas)
+        self._seed = int(seed)
+        points: List[Tuple[int, str]] = []
+        for member_id in members:
+            for replica in range(replicas):
+                points.append(
+                    (stable_hash_64(("vnode", member_id, replica), seed=seed), member_id)
+                )
+        points.sort()  # ties (astronomically rare) break by member id
+        self._hashes: List[int] = [point for point, _ in points]
+        self._owners: List[str] = [member_id for _, member_id in points]
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        return self._members
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def key_position(self, key: Any) -> int:
+        """The 64-bit ring position of a routing key."""
+        return stable_hash_64(key, seed=self._seed)
+
+    def _start_index(self, key: Any) -> int:
+        index = bisect.bisect_left(self._hashes, self.key_position(key))
+        return index % len(self._hashes)
+
+    def owner(self, key: Any) -> str:
+        """The member owning ``key``: first point at/after its hash, wrapping."""
+        return self._owners[self._start_index(key)]
+
+    def preference(self, key: Any, n: Optional[int] = None) -> List[str]:
+        """Distinct members in ring-walk order from ``key``'s position.
+
+        The first entry is :meth:`owner`; each next entry is the member
+        that would inherit the key if everything before it disappeared —
+        the deterministic fail-over succession the router follows.
+        ``n`` truncates the walk (default: all members).
+        """
+        wanted = len(self._members) if n is None else min(n, len(self._members))
+        start = self._start_index(key)
+        order: List[str] = []
+        seen = set()
+        for offset in range(len(self._owners)):
+            member_id = self._owners[(start + offset) % len(self._owners)]
+            if member_id not in seen:
+                seen.add(member_id)
+                order.append(member_id)
+                if len(order) == wanted:
+                    break
+        return order
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing(members={len(self._members)}, "
+            f"replicas={self._replicas}, seed={self._seed})"
+        )
+
+
+@dataclass
+class Member:
+    """One cluster member: a :class:`~repro.serve.server.SketchServer` endpoint."""
+
+    member_id: str
+    host: str
+    port: int
+    healthy: bool = True
+    #: Consecutive failed health probes (reset to 0 on any success).
+    failures: int = field(default=0, compare=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "member_id": self.member_id,
+            "host": self.host,
+            "port": self.port,
+            "healthy": self.healthy,
+            "failures": self.failures,
+        }
+
+
+class ClusterMembership:
+    """The ring plus per-member liveness: what the router routes with.
+
+    Accepts :class:`Member` objects or ``(member_id, host, port)`` tuples.
+    Routing (:meth:`route`) returns the first *healthy* member in the
+    ring's preference order for the key, so marking a member down is all
+    it takes to re-map its entire hash range onto its ring successors.
+    """
+
+    def __init__(
+        self,
+        members: Sequence["Member | Tuple[str, str, int]"],
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+        seed: int = 0,
+    ) -> None:
+        normalized = [
+            member if isinstance(member, Member) else Member(*member)
+            for member in members
+        ]
+        ids = [member.member_id for member in normalized]
+        if len(set(ids)) != len(ids):
+            raise InvalidParameterError(f"duplicate member ids: {sorted(ids)}")
+        self._members: Dict[str, Member] = {
+            member.member_id: member for member in normalized
+        }
+        self._ring = HashRing(ids, replicas=replicas, seed=seed)
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def get(self, member_id: str) -> Member:
+        try:
+            return self._members[member_id]
+        except KeyError:
+            raise ClusterError(f"unknown cluster member {member_id!r}") from None
+
+    def members(self) -> List[Member]:
+        """All members, healthy or not, in id order."""
+        return [self._members[member_id] for member_id in sorted(self._members)]
+
+    def alive(self) -> List[Member]:
+        """Healthy members in id order."""
+        return [member for member in self.members() if member.healthy]
+
+    def mark_down(self, member_id: str) -> Member:
+        member = self.get(member_id)
+        member.healthy = False
+        return member
+
+    def mark_up(self, member_id: str) -> Member:
+        member = self.get(member_id)
+        member.healthy = True
+        member.failures = 0
+        return member
+
+    def route(self, key: Any) -> Member:
+        """The healthy member owning ``key`` (ring order, skipping the down)."""
+        for member_id in self._ring.preference(key):
+            member = self._members[member_id]
+            if member.healthy:
+                return member
+        raise ClusterError(
+            f"no healthy member left to own key {key!r} "
+            f"({len(self._members)} member(s), all down)"
+        )
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterMembership(members={len(self._members)}, "
+            f"alive={len(self.alive())})"
+        )

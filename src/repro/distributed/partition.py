@@ -26,6 +26,7 @@ __all__ = [
     "round_robin_partition",
     "key_range_partition",
     "stable_shard",
+    "stable_hash_64",
 ]
 
 
@@ -36,6 +37,20 @@ def _stable_hash(item: Item, seed: int) -> int:
         key=seed.to_bytes(8, "little", signed=False),
     ).digest()
     return struct.unpack("<Q", digest)[0]
+
+
+def stable_hash_64(item: Item, *, seed: int = 0) -> int:
+    """The package's stable 64-bit label hash (keyed blake2b of ``repr``).
+
+    This is the hash underneath :func:`stable_shard` and
+    :func:`hash_partition_batch`, exposed directly for consumers that
+    need raw ring positions rather than modular shard indices — the
+    cluster tier's consistent-hash ring
+    (:class:`repro.cluster.membership.HashRing`) places both members and
+    keys with it.  Deterministic across processes, machines and Python
+    versions (no ``PYTHONHASHSEED`` dependence).
+    """
+    return _stable_hash(item, seed)
 
 
 def hash_partition(

@@ -89,6 +89,26 @@ class QuotaExceededError(ServeError, RuntimeError):
     """
 
 
+class ClusterError(ServeError):
+    """Base class for errors raised by the :mod:`repro.cluster` routing tier.
+
+    Covers cluster-level failures that have no single-server analogue:
+    misconfigured memberships, sessions routed to members that no longer
+    exist, and fail-over attempts with no surviving member to take over.
+    """
+
+
+class MemberDownError(ClusterError, ConnectionError):
+    """A cluster member could not be reached after bounded retries.
+
+    Raised by the router's member connections once their retry/backoff
+    budget is exhausted.  The router reacts by marking the member down and
+    re-mapping its hash range; callers seeing this error directly were
+    talking to a member endpoint themselves.  Subclasses
+    :class:`ConnectionError` so generic socket-failure handlers apply.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch payload could not be encoded or decoded.
 

@@ -28,7 +28,9 @@ from repro.core.variance import EstimateWithError
 from repro.errors import (
     BackpressureError,
     CapabilityError,
+    ClusterError,
     InvalidParameterError,
+    MemberDownError,
     QuotaExceededError,
     SerializationError,
     ServeError,
@@ -56,6 +58,8 @@ _ERROR_TYPES = {
     "CapabilityError": CapabilityError,
     "InvalidParameterError": InvalidParameterError,
     "SerializationError": SerializationError,
+    "ClusterError": ClusterError,
+    "MemberDownError": MemberDownError,
     "ServeError": ServeError,
 }
 
@@ -219,24 +223,90 @@ class TCPServeClient:
     The client is sequential (one request in flight at a time, guarded by
     a lock); open several clients for concurrent producers — the server
     multiplexes connections freely.
+
+    ``connect`` takes a bounded retry budget (``retries`` attempts beyond
+    the first, exponential ``backoff`` between them) so a server that is
+    still binding its port — or restarting after fail-over — does not
+    fail the very first dial; a ``request_timeout`` bounds every
+    round-trip so a hung server surfaces as :class:`ServeError` instead
+    of an indefinite ``await``.  Both knobs default to the historical
+    behaviour (one attempt, wait forever).
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        request_timeout: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._lock = asyncio.Lock()
+        self._request_timeout = request_timeout
         self.server_hello: Dict[str, Any] = {}
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "TCPServeClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=protocol.MAX_LINE_BYTES
-        )
-        client = cls(reader, writer)
-        hello = protocol.decode_line(await reader.readline())
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        backoff: float = 0.1,
+        request_timeout: Optional[float] = None,
+    ) -> "TCPServeClient":
+        """Dial a server, retrying refused/timed-out attempts with backoff.
+
+        Parameters
+        ----------
+        retries:
+            Additional attempts after the first (0 keeps the historical
+            single-attempt behaviour).  Attempt ``i`` sleeps
+            ``backoff * 2**i`` before redialing; once the budget is
+            exhausted :class:`~repro.errors.ServerClosedError` is raised
+            with the underlying failure chained.
+        backoff:
+            Base delay in seconds for the exponential backoff schedule.
+        request_timeout:
+            Per-request round-trip bound applied to every call made on
+            the returned client (and to each connection attempt).
+            ``None`` waits indefinitely.
+        """
+        if retries < 0:
+            raise InvalidParameterError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise InvalidParameterError(f"backoff must be >= 0, got {backoff}")
+        last_error: Optional[BaseException] = None
+        for attempt in range(retries + 1):
+            if attempt:
+                await asyncio.sleep(backoff * 2 ** (attempt - 1))
+            try:
+                open_conn = asyncio.open_connection(
+                    host, port, limit=protocol.MAX_LINE_BYTES
+                )
+                if request_timeout is not None:
+                    reader, writer = await asyncio.wait_for(
+                        open_conn, request_timeout
+                    )
+                else:
+                    reader, writer = await open_conn
+                break
+            except (OSError, asyncio.TimeoutError) as exc:
+                last_error = exc
+        else:
+            raise ServerClosedError(
+                f"could not connect to {host}:{port} after {retries + 1} "
+                f"attempt(s): {last_error}"
+            ) from last_error
+        client = cls(reader, writer, request_timeout=request_timeout)
+        try:
+            hello_line = await client._bounded(reader.readline())
+        except ServeError:
+            await client.close()
+            raise
+        hello = protocol.decode_line(hello_line)
         client.server_hello = hello
         version = hello.get("wire_version")
         if version != protocol.WIRE_VERSION:
@@ -261,15 +331,31 @@ class TCPServeClient:
         await self.close()
 
     # -- request plumbing ----------------------------------------------
+    async def _bounded(self, awaitable):
+        """Await under the client's request timeout (``None`` = no bound)."""
+        if self._request_timeout is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, self._request_timeout)
+        except asyncio.TimeoutError as exc:
+            raise ServeError(
+                f"request timed out after {self._request_timeout}s (the "
+                "connection is no longer usable; reconnect to retry)"
+            ) from exc
+
     async def _call(self, op: str, **fields) -> Dict[str, Any]:
         request = {"id": next(self._ids), "op": op}
         request.update(
             {key: value for key, value in fields.items() if value is not None}
         )
-        async with self._lock:
+
+        async def round_trip() -> bytes:
             self._writer.write(protocol.encode_line(request))
             await self._writer.drain()
-            line = await self._reader.readline()
+            return await self._reader.readline()
+
+        async with self._lock:
+            line = await self._bounded(round_trip())
         if not line:
             raise ServeError("server closed the connection")
         response = protocol.decode_line(line)
@@ -278,6 +364,17 @@ class TCPServeClient:
         error = response.get("error") or {}
         exc_class = _ERROR_TYPES.get(error.get("type"), RemoteServeError)
         raise exc_class(error.get("message", "remote serve error"))
+
+    async def request(self, op: str, **fields) -> Dict[str, Any]:
+        """Issue one raw protocol op, returning the result payload.
+
+        The typed methods below cover the stable surface; this is the
+        escape hatch for ops without a wrapper (and the forwarding path
+        the cluster router's member connections use).  ``None``-valued
+        fields are omitted from the wire request; remote errors re-raise
+        as their :mod:`repro.errors` classes exactly like the wrappers.
+        """
+        return await self._call(op, **fields)
 
     @staticmethod
     def _scalar(result: Dict[str, Any]) -> EstimateWithError:

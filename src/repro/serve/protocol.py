@@ -53,6 +53,14 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 
 #: Every request ``op`` the server dispatches, in lifecycle → ingest →
 #: query → admin order (documented one-per-row in ``docs/serve.md``).
+#: ``adopt`` (serve a serialized estimator frame under a key — the
+#: cluster tier's fail-over rehydration path) is handled by every
+#: :class:`~repro.serve.server.SketchServer`; ``cluster_info`` is
+#: answered by a :class:`~repro.cluster.router.ClusterRouter` front,
+#: which otherwise speaks this same protocol on both of its sides.
+#: A ``create`` may carry ``shards: k`` — ignored by a single server,
+#: honoured by a router, which then key-shards the session across ``k``
+#: members (see ``docs/cluster.md``).
 KNOWN_OPS = (
     "ping",
     "create",
@@ -70,6 +78,8 @@ KNOWN_OPS = (
     "top_k",
     "checkpoint",
     "metrics",
+    "adopt",
+    "cluster_info",
 )
 
 

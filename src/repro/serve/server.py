@@ -25,7 +25,8 @@ normalized results, and remote errors re-raise as the same
 
 from __future__ import annotations
 
-import asyncio
+import base64
+import binascii
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -35,15 +36,18 @@ from repro.errors import (
     SerializationError,
     ServeError,
 )
+from repro.api.session import StreamSession
+from repro.io import load_bytes
 from repro.serve import protocol
 from repro.serve.checkpoint import CheckpointScheduler, restore_registry
+from repro.serve.endpoint import JsonLinesEndpoint
 from repro.serve.registry import DEFAULT_TENANT, SketchRegistry
 from repro.serve.stats import RateTracker
 
 __all__ = ["SketchServer"]
 
 
-class SketchServer:
+class SketchServer(JsonLinesEndpoint):
     """Host many named sketch sessions behind one asyncio process.
 
     Parameters
@@ -102,9 +106,7 @@ class SketchServer:
             if checkpoint_dir is not None
             else None
         )
-        self._tcp_server: Optional[asyncio.AbstractServer] = None
-        self._connections = 0
-        self._stopped = False
+        self._init_endpoint()
         self._started_at = time.perf_counter()
         self._ingest_rate = RateTracker()
 
@@ -148,18 +150,6 @@ class SketchServer:
         from repro.serve.client import ServeClient
 
         return ServeClient(self)
-
-    @property
-    def address(self) -> Optional[Tuple[str, int]]:
-        """The bound TCP ``(host, port)``, or ``None`` when not listening."""
-        if self._tcp_server is None or not self._tcp_server.sockets:
-            return None
-        return self._tcp_server.sockets[0].getsockname()[:2]
-
-    @property
-    def connections_served(self) -> int:
-        """TCP connections accepted over the server's lifetime."""
-        return self._connections
 
     def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
         """One JSON-safe operational snapshot (the ``metrics`` op's payload).
@@ -267,17 +257,6 @@ class SketchServer:
             self._checkpointer.start()
         return self
 
-    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
-        """Listen for JSON-lines clients; returns the bound ``(host, port)``.
-
-        ``port=0`` binds an ephemeral port (the tests do this).
-        """
-        await self.start()
-        self._tcp_server = await asyncio.start_server(
-            self._handle_connection, host, port, limit=protocol.MAX_LINE_BYTES
-        )
-        return self.address
-
     async def stop(self, *, drain: bool = True) -> None:
         """Shut down: close TCP, drain every session, final checkpoint.
 
@@ -289,10 +268,7 @@ class SketchServer:
         if self._stopped:
             return
         self._stopped = True
-        if self._tcp_server is not None:
-            self._tcp_server.close()
-            await self._tcp_server.wait_closed()
-            self._tcp_server = None
+        await self._stop_tcp()
         # Close sessions (draining or not) BEFORE the final checkpoint, so
         # the checkpoint captures a state no producer can still add to —
         # otherwise rows accepted during shutdown would be applied after
@@ -312,69 +288,8 @@ class SketchServer:
         await self.stop()
 
     # ------------------------------------------------------------------
-    # TCP connection handling
+    # TCP op dispatch (connection handling lives in JsonLinesEndpoint)
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._connections += 1
-        writer.write(
-            protocol.encode_line(
-                {"hello": "repro.serve", "wire_version": protocol.WIRE_VERSION}
-            )
-        )
-        try:
-            await writer.drain()
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, asyncio.LimitOverrunError):
-                    # Over-long line: framing is unrecoverable, but tell
-                    # the client why before closing instead of vanishing.
-                    writer.write(
-                        protocol.encode_line(
-                            protocol.error_response(
-                                None,
-                                SerializationError(
-                                    "wire line exceeds "
-                                    f"{protocol.MAX_LINE_BYTES} bytes"
-                                ),
-                            )
-                        )
-                    )
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                request = None
-                try:
-                    request = protocol.decode_line(line)
-                    response = await self._dispatch(request)
-                except Exception as exc:  # one bad request never kills the link
-                    request_id = request.get("id") if isinstance(request, dict) else None
-                    response = protocol.error_response(request_id, exc)
-                writer.write(protocol.encode_line(response))
-                await writer.drain()
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
-        if handler is None:
-            raise InvalidParameterError(
-                f"unknown serve op {op!r} (known ops: "
-                f"{', '.join(protocol.KNOWN_OPS)})"
-            )
-        result = await handler(request)
-        return protocol.ok_response(request.get("id"), result)
-
     # -- op helpers ----------------------------------------------------
     @staticmethod
     def _key(request: Dict[str, Any]) -> Tuple[str, str]:
@@ -520,6 +435,47 @@ class SketchServer:
             force=bool(request.get("force", False))
         )
         return {"sessions": len(manifest["sessions"])}
+
+    async def _op_adopt(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve a serialized estimator frame under ``(tenant, session)``.
+
+        The wire twin of :meth:`SketchRegistry.adopt`: the request carries
+        a base64 ``frame`` (a :mod:`repro.io` payload, RNG state included),
+        plus the ``spec`` / ``backend`` labels and ``rows_applied`` counter
+        the session should resume with.  This is the cluster fail-over
+        rehydration path — a router reads a dead member's checkpoint files
+        and adopts them onto survivors — but works against any server.
+        """
+        tenant, name = self._key(request)
+        frame = request.get("frame")
+        if not isinstance(frame, str):
+            raise InvalidParameterError(
+                "'adopt' needs a base64 'frame' holding a serialized estimator"
+            )
+        try:
+            payload = base64.b64decode(frame.encode("ascii"), validate=True)
+        except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+            raise SerializationError(
+                f"'adopt' frame is not valid base64: {exc}"
+            ) from exc
+        estimator = load_bytes(payload)
+        session = StreamSession(
+            estimator,
+            spec_name=request.get("spec"),
+            backend=request.get("backend", "inline"),
+        )
+        served = self._registry.adopt(
+            name,
+            session,
+            tenant=tenant,
+            ttl=request.get("ttl"),
+            queue_maxsize=request.get("queue_maxsize"),
+        )
+        rows = int(request.get("rows_applied", 0))
+        served.rows_checkpointed = rows
+        served.stats.rows_applied = rows
+        served.stats.rows_enqueued = rows
+        return {"adopted": True, "info": _jsonable_info(served.describe())}
 
     async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"metrics": self.metrics(detail=bool(request.get("detail", False)))}

@@ -22,6 +22,8 @@ from repro.errors import (
     InvalidParameterError,
     QuotaExceededError,
     SerializationError,
+    ServeError,
+    ServerClosedError,
     SessionNotFoundError,
 )
 from repro.serve import SketchServer, TCPServeClient, restore_registry
@@ -593,3 +595,105 @@ class TestServeCheckpointRestore:
     def test_restore_requires_manifest(self, tmp_path):
         with pytest.raises(SerializationError, match="manifest"):
             restore_registry(tmp_path / "nowhere")
+
+
+# ----------------------------------------------------------------------
+# Client resilience and graceful server shutdown
+# ----------------------------------------------------------------------
+class TestClientResilienceAndShutdown:
+    def test_connect_retries_then_raises_typed_error(self):
+        """Exhausted retries surface as ServerClosedError, not raw OSError."""
+        async def scenario():
+            # Bind-then-close guarantees the port is unbound when we dial.
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            with pytest.raises(ServerClosedError, match="3 attempt"):
+                await TCPServeClient.connect(
+                    "127.0.0.1", port, retries=2, backoff=0.01
+                )
+
+        run(scenario())
+
+    def test_connect_retry_succeeds_once_listener_appears(self):
+        """A slow-to-boot server is reached by the backoff loop."""
+        async def scenario():
+            server = SketchServer()
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            async def boot_late():
+                await asyncio.sleep(0.15)
+                await server.start_tcp("127.0.0.1", port)
+
+            boot = asyncio.ensure_future(boot_late())
+            try:
+                client = await TCPServeClient.connect(
+                    "127.0.0.1", port, retries=8, backoff=0.05
+                )
+                assert (await client.ping())["pong"] is True
+                await client.close()
+            finally:
+                await boot
+                await server.stop()
+
+        run(scenario())
+
+    def test_request_timeout_raises_serve_error(self):
+        """A stalled server trips the per-request deadline, not a hang."""
+        async def scenario():
+            async def stalling_peer(reader, writer):
+                hello = {"server": "stall", "wire_version": 1}
+                writer.write((json.dumps(hello) + "\n").encode())
+                await writer.drain()
+                await reader.readline()  # swallow the request, never answer
+                await asyncio.sleep(30)
+
+            listener = await asyncio.start_server(stalling_peer, "127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            try:
+                client = await TCPServeClient.connect(
+                    "127.0.0.1", port, request_timeout=0.1
+                )
+                with pytest.raises(ServeError, match="timed out"):
+                    await client.request("ping")
+            finally:
+                listener.close()
+                await listener.wait_closed()
+
+        run(scenario())
+
+    def test_stop_cancels_in_flight_request_with_error_envelope(self):
+        """Graceful shutdown answers in-flight requests before dropping them."""
+        async def scenario():
+            server, client = await _tcp_server()
+
+            started = asyncio.Event()
+
+            async def _op_slow(request):
+                started.set()
+                await asyncio.sleep(30)
+                return {"never": True}
+
+            server._op_slow = _op_slow
+            pending = asyncio.ensure_future(client.request("slow"))
+            await asyncio.wait_for(started.wait(), 5)
+            # stop() must not wait the 30s the handler would take.
+            await asyncio.wait_for(server.stop(), 5)
+            with pytest.raises(ServerClosedError, match="shutting down"):
+                await pending
+
+        run(scenario())
+
+    def test_stop_with_idle_connection_returns_promptly(self):
+        async def scenario():
+            server, client = await _tcp_server()
+            assert (await client.ping())["pong"] is True
+            # The client holds an open, idle connection; stop() must not
+            # block on it (the reader task is parked in readline()).
+            await asyncio.wait_for(server.stop(), 5)
+
+        run(scenario())

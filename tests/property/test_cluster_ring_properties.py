@@ -1,0 +1,67 @@
+"""Property-based tests (hypothesis) for the consistent-hash ring.
+
+The ring is a pure function of ``(member set, replicas, seed)``, so its
+contracts can be stated over arbitrary memberships and keys: ownership is
+order- and construction-independent, removal re-homes exactly the removed
+member's keys, and the preference walk is a permutation starting at the
+owner.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing
+
+member_sets = st.sets(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1,
+    max_size=8,
+)
+keys = st.lists(
+    st.tuples(st.sampled_from(["default", "ads", "t1"]), st.integers(0, 10_000)),
+    min_size=1,
+    max_size=50,
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+replica_counts = st.integers(min_value=1, max_value=64)
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=member_sets, sample=keys, seed=seeds, replicas=replica_counts)
+def test_owner_is_a_member_and_rebuild_invariant(members, sample, seed, replicas):
+    """Ownership never leaves the member set and ignores insertion order."""
+    ring = HashRing(members, replicas=replicas, seed=seed)
+    rebuilt = HashRing(sorted(members, reverse=True), replicas=replicas, seed=seed)
+    for key in sample:
+        owner = ring.owner(key)
+        assert owner in members
+        assert rebuilt.owner(key) == owner
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=member_sets, sample=keys, seed=seeds)
+def test_removal_moves_only_the_removed_members_keys(members, sample, seed):
+    """Keys owned by surviving members never change hands on shrink."""
+    if len(members) < 2:
+        return
+    victim = sorted(members)[0]
+    before = HashRing(members, seed=seed)
+    after = HashRing(members - {victim}, seed=seed)
+    for key in sample:
+        owner = before.owner(key)
+        if owner == victim:
+            assert after.owner(key) != victim
+        else:
+            assert after.owner(key) == owner
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=member_sets, seed=seeds)
+def test_preference_is_a_permutation_starting_at_the_owner(members, seed):
+    ring = HashRing(members, seed=seed)
+    key = ("default", "probe")
+    order = ring.preference(key)
+    assert order[0] == ring.owner(key)
+    assert sorted(order) == sorted(members)

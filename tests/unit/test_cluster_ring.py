@@ -1,0 +1,219 @@
+"""Unit tests for the cluster tier's pure parts.
+
+The consistent-hash ring (stability, determinism, balance, preference
+order), the membership/liveness layer above it, and the shard-session
+math (scatter partitioning, the unbiased gather-merge, ranking) — all
+pure functions, no sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterMembership,
+    HashRing,
+    Member,
+    SessionRoute,
+    merge_shard_states,
+    ranked_pairs,
+    scatter_batch,
+)
+from repro.distributed.partition import stable_shard
+from repro.errors import ClusterError, InvalidParameterError
+
+KEYS = [("default", f"session-{i}") for i in range(10_000)]
+
+
+# ----------------------------------------------------------------------
+# HashRing
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_owner_is_deterministic_across_rebuilds(self):
+        """Routing must survive router restarts: same inputs, same ring."""
+        ring_a = HashRing(["m0", "m1", "m2"], seed=7)
+        ring_b = HashRing(["m2", "m0", "m1"], seed=7)  # order must not matter
+        assert [ring_a.owner(key) for key in KEYS[:500]] == [
+            ring_b.owner(key) for key in KEYS[:500]
+        ]
+
+    def test_different_seed_routes_differently(self):
+        ring_a = HashRing(["m0", "m1", "m2"], seed=0)
+        ring_b = HashRing(["m0", "m1", "m2"], seed=1)
+        assert any(
+            ring_a.owner(key) != ring_b.owner(key) for key in KEYS[:200]
+        )
+
+    def test_adding_a_member_moves_few_keys_and_only_to_it(self):
+        """Consistent hashing's whole point: growth moves ≈ K/(N+1) keys."""
+        before = HashRing(["m0", "m1", "m2", "m3"])
+        after = HashRing(["m0", "m1", "m2", "m3", "m4"])
+        moved = [
+            key for key in KEYS if before.owner(key) != after.owner(key)
+        ]
+        # Expectation is K/5 = 2000; allow generous slack for hash noise.
+        assert len(moved) <= 0.35 * len(KEYS)
+        # Every moved key moved TO the new member, never between old ones.
+        assert all(after.owner(key) == "m4" for key in moved)
+
+    def test_removing_a_member_moves_only_its_keys(self):
+        before = HashRing(["m0", "m1", "m2", "m3", "m4"])
+        after = HashRing(["m0", "m1", "m2", "m3"])
+        for key in KEYS[:2000]:
+            if before.owner(key) != "m4":
+                assert after.owner(key) == before.owner(key)
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(["m0", "m1", "m2", "m3"])
+        counts = {member: 0 for member in ring.members}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        share = 1 / len(counts)
+        for member, count in counts.items():
+            assert 0.5 * share <= count / len(KEYS) <= 1.7 * share, (
+                member,
+                counts,
+            )
+
+    def test_preference_starts_at_owner_and_covers_all_members(self):
+        ring = HashRing(["m0", "m1", "m2"])
+        for key in KEYS[:100]:
+            order = ring.preference(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == ["m0", "m1", "m2"]
+        assert len(ring.preference(KEYS[0], n=2)) == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HashRing([])
+        with pytest.raises(InvalidParameterError):
+            HashRing(["m0"], replicas=0)
+
+
+# ----------------------------------------------------------------------
+# ClusterMembership
+# ----------------------------------------------------------------------
+class TestClusterMembership:
+    def _membership(self):
+        return ClusterMembership(
+            [("m0", "127.0.0.1", 1), ("m1", "127.0.0.1", 2), ("m2", "127.0.0.1", 3)]
+        )
+
+    def test_route_skips_members_marked_down(self):
+        membership = self._membership()
+        key = ("default", "clicks")
+        first = membership.route(key).member_id
+        membership.mark_down(first)
+        second = membership.route(key).member_id
+        assert second != first
+        # Succession follows ring preference order exactly.
+        preference = membership.ring.preference(key)
+        assert second == next(m for m in preference if m != first)
+        # Recovery restores the original owner.
+        membership.mark_up(first)
+        assert membership.route(key).member_id == first
+
+    def test_all_members_down_raises(self):
+        membership = self._membership()
+        for member in membership.members():
+            membership.mark_down(member.member_id)
+        with pytest.raises(ClusterError):
+            membership.route(("default", "clicks"))
+
+    def test_duplicate_member_ids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterMembership([("m0", "h", 1), ("m0", "h", 2)])
+
+    def test_accepts_member_objects(self):
+        membership = ClusterMembership([Member("m0", "127.0.0.1", 9)])
+        assert membership.get("m0").port == 9
+        with pytest.raises(ClusterError):
+            membership.get("nope")
+
+
+# ----------------------------------------------------------------------
+# Scatter / gather math
+# ----------------------------------------------------------------------
+class TestScatterBatch:
+    def test_partition_matches_stable_shard_and_keeps_order(self):
+        items = [f"ad{i % 17}" for i in range(300)]
+        weights = [float(i) for i in range(300)]
+        ts = [0.5 * i for i in range(300)]
+        slices = scatter_batch(items, weights, ts, 4, seed=3)
+        rebuilt = []
+        for shard, (s_items, s_weights, s_ts) in enumerate(slices):
+            assert len(s_items) == len(s_weights) == len(s_ts)
+            for item in s_items:
+                assert stable_shard(item, 4, seed=3) == shard
+            rebuilt.extend(zip(s_items, s_weights, s_ts))
+        # No row lost or duplicated; within-shard order preserved by zip
+        # alignment (weights/timestamps still attached to their item).
+        assert sorted(rebuilt, key=lambda row: row[1]) == list(
+            zip(items, weights, ts)
+        )
+
+    def test_optional_columns_stay_none(self):
+        slices = scatter_batch(["a", "b"], None, None, 2)
+        assert all(w is None and t is None for _, w, t in slices)
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            scatter_batch(["a"], [1.0, 2.0], None, 2)
+        with pytest.raises(InvalidParameterError):
+            scatter_batch(["a"], None, [1.0, 2.0], 2)
+        with pytest.raises(InvalidParameterError):
+            scatter_batch(["a"], None, None, 0)
+
+
+class TestGatherMerge:
+    def test_merge_is_exact_disjoint_union(self):
+        """capacity = union size ⇒ the unbiased reduction is the identity."""
+        shard_states = [
+            ({"a": 5.0, "b": 3.0}, 8.0),
+            ({"c": 2.5}, 2.5),
+            ({}, 0.0),  # empty shard must not break the merge
+        ]
+        merged = merge_shard_states(shard_states)
+        assert merged.estimates() == {"a": 5.0, "b": 3.0, "c": 2.5}
+        assert merged.total_weight == 10.5
+
+    def test_ranked_pairs_orders_like_the_query_layer(self):
+        merged = merge_shard_states([({"b": 2.0, "a": 2.0, "c": 5.0}, 9.0)])
+        assert ranked_pairs(merged) == [("c", 5.0), ("a", 2.0), ("b", 2.0)]
+        assert ranked_pairs(merged, k=1) == [("c", 5.0)]
+        assert ranked_pairs(merged, threshold=3.0) == [("c", 5.0)]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            merge_shard_states([])
+
+
+# ----------------------------------------------------------------------
+# SessionRoute
+# ----------------------------------------------------------------------
+class TestSessionRoute:
+    def test_single_route_has_one_slot(self):
+        route = SessionRoute(tenant="t", name="s", members=["m0"])
+        assert not route.sharded
+        assert route.wire_name() == "s"
+        assert route.shard_of("anything") == 0
+        assert route.slots() == [(0, "s", "m0")]
+
+    def test_sharded_route_names_and_hashing(self):
+        route = SessionRoute(
+            tenant="t", name="s", members=["m0", "m1", "m2"], shards=3, seed=5
+        )
+        assert [name for _, name, _ in route.slots()] == [
+            "s@shard0",
+            "s@shard1",
+            "s@shard2",
+        ]
+        for item in ("a", "b", ("pair", 1), 42):
+            assert route.shard_of(item) == stable_shard(item, 3, seed=5)
+        assert route.ring_key(1) == ("t", "s@shard1")
+
+    def test_slot_count_must_match_shards(self):
+        with pytest.raises(InvalidParameterError):
+            SessionRoute(tenant="t", name="s", members=["m0"], shards=2)
+        with pytest.raises(InvalidParameterError):
+            SessionRoute(tenant="t", name="s", members=["m0", "m1"])
