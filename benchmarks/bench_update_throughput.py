@@ -23,7 +23,11 @@ Two layers live in this file:
   ``--modes`` selects a subset (CI's bench-smoke and perf-regression
   jobs run explicit mode lists); ``tools/check_perf.py`` compares the
   emitted record against the committed baseline in
-  ``benchmarks/baselines/``.
+  ``benchmarks/baselines/``.  Two opt-in sweeps report into their own
+  record sections: ``cluster`` (node-count scaling through a
+  ``ClusterRouter``) and ``rebalance`` (a member **joins** the running
+  ring mid-stream; the sweep asserts exact totals and ≥95% ingest
+  availability through the migration).
 
 * **pytest-benchmark micro-benchmarks** (§6.7: O(1) updates, O(m) space) —
   ``pytest benchmarks/bench_update_throughput.py`` times repeated rounds of
@@ -340,6 +344,162 @@ def run_cluster_mode(
     }
 
 
+def run_rebalance_mode(
+    chunks: List[np.ndarray],
+    *,
+    capacity: int,
+    seed: int,
+    num_producers: int = 4,
+    availability_floor: float = 0.95,
+) -> Dict[str, object]:
+    """Elasticity sweep: join a member mid-stream, measure ingest availability.
+
+    Boots a 2-member cluster plus one spare server, creates a key-sharded
+    session, and streams the workload through ``num_producers`` concurrent
+    producers.  Once the stream is warm, the spare **joins** the running
+    ring — pausing and draining only the shards it claims while the
+    producers keep writing.  A probe task ingests small batches throughout
+    and records the fraction that complete within a deadline: that is the
+    ingest availability the rebalance must keep above
+    ``availability_floor``.  The final total is asserted exact (producer
+    rows + probe rows — migration loses nothing, Unbiased Space Saving
+    preserves mass), so the sweep is also an elasticity equivalence check.
+
+    Reports into its own top-level ``rebalance`` record section for the
+    same reason as the cluster sweep: it measures topology change, not a
+    single-process ingest flavor.
+    """
+    import tempfile
+
+    from repro.cluster import ClusterRouter, Member
+    from repro.serve import TCPServeClient
+
+    rows = int(sum(len(chunk) for chunk in chunks))
+    shards = 4
+    probe_batch = ["probe-a", "probe-b", "probe-c"]
+
+    async def drive(shared_root: str) -> Dict[str, object]:
+        servers = []
+        members = []
+        for i in range(3):
+            server = SketchServer(
+                checkpoint_dir=Path(shared_root) / f"m{i}",
+                checkpoint_interval=3600.0,  # migration forces its own
+            )
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            servers.append((f"m{i}", host, port, server))
+            if i < 2:  # m2 stays outside the ring until the live join
+                members.append(Member(f"m{i}", host, port))
+        router = ClusterRouter(
+            members, shared_checkpoint_root=shared_root, seed=seed
+        )
+        r_host, r_port = await router.start_tcp("127.0.0.1", 0)
+        clients = [
+            await TCPServeClient.connect(r_host, r_port)
+            for _ in range(num_producers + 1)
+        ]
+        probe_client, producer_clients = clients[0], clients[1:]
+        try:
+            await producer_clients[0].create(
+                "bench", "unbiased_space_saving", size=capacity,
+                seed=seed, shards=shards,
+            )
+            warm = asyncio.Event()  # set once the stream is demonstrably live
+            done = asyncio.Event()
+
+            async def produce(client, share: List[np.ndarray]) -> int:
+                sent = 0
+                for chunk in share:
+                    sent += await client.update_batch("bench", chunk)
+                    warm.set()
+                return sent
+
+            probes_ok = 0
+            probes_failed = 0
+
+            async def probe() -> int:
+                nonlocal probes_ok, probes_failed
+                applied = 0
+                while not done.is_set():
+                    try:
+                        applied += await asyncio.wait_for(
+                            probe_client.update_batch("bench", probe_batch),
+                            timeout=2.0,
+                        )
+                        probes_ok += 1
+                    except Exception:
+                        probes_failed += 1
+                    await asyncio.sleep(0.005)
+                return applied
+
+            async def join_once_warm() -> Dict[str, object]:
+                await warm.wait()
+                member_id, host, port, _ = servers[2]
+                started = time.perf_counter()
+                result = await router.join(member_id, host, port)
+                result["join_seconds"] = round(
+                    time.perf_counter() - started, 4
+                )
+                return result
+
+            started = time.perf_counter()
+            probe_task = asyncio.ensure_future(probe())
+            shares = [chunks[i::num_producers] for i in range(num_producers)]
+            produced, joined = await asyncio.gather(
+                asyncio.gather(
+                    *(
+                        produce(client, share)
+                        for client, share in zip(producer_clients, shares)
+                    )
+                ),
+                join_once_warm(),
+            )
+            done.set()
+            probe_rows = await probe_task
+            await probe_client.flush("bench")
+            elapsed = time.perf_counter() - started
+
+            total = await probe_client.total("bench")
+            info = await probe_client.info("bench")
+            attempts = probes_ok + probes_failed
+            availability = probes_ok / attempts if attempts else 1.0
+            expected = float(sum(produced) + probe_rows)
+            assert float(total.estimate) == expected, (
+                f"rebalance lost mass: total {total.estimate} != {expected}"
+            )
+            assert availability >= availability_floor, (
+                f"ingest availability {availability:.3f} fell below "
+                f"{availability_floor} during the join "
+                f"({probes_failed}/{attempts} probes failed)"
+            )
+            return {
+                "rows": rows,
+                "probe_rows": int(probe_rows),
+                "shards": shards,
+                "members_before": 2,
+                "members_after": 3,
+                "sessions_moved": joined["sessions_moved"],
+                "epoch": joined["epoch"],
+                "join_seconds": joined["join_seconds"],
+                "seconds": round(elapsed, 4),
+                "rows_per_sec": round(rows / elapsed, 1),
+                "availability": round(availability, 4),
+                "availability_floor": availability_floor,
+                "probe_attempts": attempts,
+                "placement": info["cluster"]["members"],
+                "total_exact": True,
+            }
+        finally:
+            for client in clients:
+                await client.close()
+            await router.stop()
+            for _, _, _, server in servers:
+                await server.stop()
+
+    with tempfile.TemporaryDirectory() as shared_root:
+        return asyncio.run(drive(shared_root))
+
+
 def run_ingestion_comparison(
     rows: int = 1_000_000,
     *,
@@ -355,15 +515,18 @@ def run_ingestion_comparison(
     cluster_members: Sequence[int] = CLUSTER_MEMBER_COUNTS,
 ) -> Dict[str, object]:
     """Time the selected ingestion modes on one workload; build a JSON record."""
-    # "cluster" is opt-in (never part of "all"): it measures node-count
-    # scaling, not another single-process ingest flavor, and reports
-    # into its own record section.
+    # "cluster" and "rebalance" are opt-in (never part of "all"): they
+    # measure node-count scaling and topology change respectively, not
+    # another single-process ingest flavor, and report into their own
+    # record sections.
     cluster_requested = "cluster" in modes
-    modes = [name for name in modes if name != "cluster"]
+    rebalance_requested = "rebalance" in modes
+    modes = [name for name in modes if name not in ("cluster", "rebalance")]
     unknown = sorted(set(modes) - set(ALL_MODES))
     if unknown:
         raise ValueError(
-            f"unknown modes {unknown}; expected from {ALL_MODES + ('cluster',)}"
+            f"unknown modes {unknown}; expected from "
+            f"{ALL_MODES + ('cluster', 'rebalance')}"
         )
     modes = [name for name in ALL_MODES if name in set(modes)]
     stream = make_zipf_rows(rows, num_items=num_items, exponent=exponent, seed=seed)
@@ -524,6 +687,10 @@ def run_ingestion_comparison(
         record["cluster"] = run_cluster_mode(
             chunks, capacity=capacity, seed=seed, member_counts=cluster_members
         )
+    if rebalance_requested:
+        record["rebalance"] = run_rebalance_mode(
+            chunks, capacity=capacity, seed=seed, num_producers=num_producers
+        )
     return record
 
 
@@ -564,9 +731,9 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         "--modes",
         default="all",
         help="comma-separated subset of "
-        f"{','.join(ALL_MODES)},cluster (or 'all'; 'all' excludes the "
-        "opt-in cluster sweep); speedups report vs scalar when it is "
-        "included",
+        f"{','.join(ALL_MODES)},cluster,rebalance (or 'all'; 'all' "
+        "excludes the opt-in cluster and rebalance sweeps); speedups "
+        "report vs scalar when it is included",
     )
     parser.add_argument(
         "--cluster-members",

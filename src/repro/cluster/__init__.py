@@ -21,6 +21,14 @@ JSON-lines protocol a single server speaks, so an unmodified
   and rehydrates its sessions there via the wire ``adopt`` op, resuming
   bit-exactly from the last checkpoint
   (:meth:`~repro.cluster.router.ClusterRouter.fail_over`).
+* **Elasticity** — the wire ``join`` op adds a member to the running
+  ring and streams the ≈ ``K/N`` moved shard slots to it (pause-and-
+  drain per slot; ingest to unaffected keys never blocks), and
+  ``decommission`` drains a member to its ring successors losslessly
+  before removing it.  Ring generations are **epochs**
+  (:attr:`~repro.cluster.membership.ClusterMembership.epoch`);
+  :func:`~repro.cluster.membership.ring_delta` computes the moved-key
+  set between two rings.
 
 See ``docs/cluster.md`` for the topology, variance math and fail-over
 lifecycle.
@@ -32,6 +40,7 @@ from repro.cluster.membership import (
     ClusterMembership,
     HashRing,
     Member,
+    ring_delta,
 )
 from repro.cluster.router import ClusterRouter
 from repro.cluster.shard_session import (
@@ -51,5 +60,6 @@ __all__ = [
     "SessionRoute",
     "merge_shard_states",
     "ranked_pairs",
+    "ring_delta",
     "scatter_batch",
 ]

@@ -9,12 +9,19 @@ socket — invalidates the cached connection and raises
 router's fail-over logic reacts to.  *Application* errors coming back in
 protocol envelopes (``SessionNotFoundError``, quota errors, …) pass
 through untouched: a member answering with a typed error is alive.
+
+For deterministic failure testing, a connection accepts an optional
+**chaos hook** — an async callable awaited with ``(member_id, op)``
+before every request leaves.  The hook can delay (sleep), drop (raise
+:class:`MemberDownError`), or kill (stop the member's server) at scripted
+points; ``tests/support/chaos.py`` builds seeded, replayable scripts on
+top of this seam.  Production code never sets it.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional
+from typing import Any, Awaitable, Callable, Dict, Optional
 
 from repro.errors import MemberDownError, ServeError, ServerClosedError
 from repro.serve.client import TCPServeClient
@@ -41,6 +48,9 @@ class MemberConnection:
         self._request_timeout = request_timeout
         self._client: Optional[TCPServeClient] = None
         self._lock = asyncio.Lock()
+        #: Optional fault-injection hook ``async (member_id, op) -> None``,
+        #: awaited before each request is sent (test seam; see module doc).
+        self.chaos: Optional[Callable[[str, str], Awaitable[None]]] = None
 
     @property
     def member(self) -> Member:
@@ -84,6 +94,8 @@ class MemberConnection:
     async def call(self, op: str, **fields) -> Dict[str, Any]:
         """One protocol op against the member; transport loss raises
         :class:`MemberDownError` (application errors re-raise unchanged)."""
+        if self.chaos is not None:
+            await self.chaos(self._member.member_id, op)
         client = await self._ensure()
         try:
             return await client.request(op, **fields)

@@ -15,6 +15,15 @@ property the unit tests assert.
 :class:`Member` carries an address and a health flag, and routing walks
 the ring's preference order skipping members marked down — which is all
 fail-over needs to re-map a dead member's hash range deterministically.
+
+Membership is *elastic*: :meth:`ClusterMembership.add_member` and
+:meth:`ClusterMembership.remove_member` rebuild the ring and bump the
+**epoch** — a monotone counter identifying one ring generation.  Every
+route the router hands out is stamped with the epoch it was computed
+under, so an in-flight request can detect that the partition moved
+beneath it.  :func:`ring_delta` computes exactly which keys change owner
+between two rings — the ≈ ``K/N`` migration set a live ``join`` or
+``decommission`` must stream.
 """
 
 from __future__ import annotations
@@ -26,7 +35,13 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.distributed.partition import stable_hash_64
 from repro.errors import ClusterError, InvalidParameterError
 
-__all__ = ["HashRing", "Member", "ClusterMembership", "DEFAULT_REPLICAS"]
+__all__ = [
+    "HashRing",
+    "Member",
+    "ClusterMembership",
+    "DEFAULT_REPLICAS",
+    "ring_delta",
+]
 
 #: Virtual nodes per member.  64 keeps the largest/smallest member load
 #: ratio within ~1.3x for small clusters while the ring stays tiny
@@ -171,10 +186,64 @@ class ClusterMembership:
             member.member_id: member for member in normalized
         }
         self._ring = HashRing(ids, replicas=replicas, seed=seed)
+        self._epoch = 0
 
     @property
     def ring(self) -> HashRing:
         return self._ring
+
+    @property
+    def epoch(self) -> int:
+        """The ring generation: bumped on every membership change.
+
+        Liveness flips (``mark_down`` / ``mark_up``) do **not** bump the
+        epoch — they re-map routing within one generation, and fail-over
+        already serializes against migrations through the router's
+        topology lock.
+        """
+        return self._epoch
+
+    def _rebuild(self) -> None:
+        self._ring = HashRing(
+            list(self._members),
+            replicas=self._ring.replicas,
+            seed=self._ring.seed,
+        )
+        self._epoch += 1
+
+    def add_member(self, member: "Member | Tuple[str, str, int]") -> Member:
+        """Add a member to the ring (a new epoch begins).
+
+        The new member joins healthy; keys whose ring owner becomes the
+        newcomer route to it immediately, so the caller (the router's
+        ``join``) must migrate their state *before* calling this — or
+        pause the affected slots across the flip, which is what the
+        router does.
+        """
+        member = member if isinstance(member, Member) else Member(*member)
+        if member.member_id in self._members:
+            raise InvalidParameterError(
+                f"member {member.member_id!r} is already in the cluster"
+            )
+        self._members[member.member_id] = member
+        self._rebuild()
+        return member
+
+    def remove_member(self, member_id: str) -> Member:
+        """Remove a member from the ring entirely (a new epoch begins).
+
+        Unlike ``mark_down`` — which keeps the member's points on the
+        ring and merely skips it — removal hands its arcs to ring
+        successors permanently.  The last member cannot be removed.
+        """
+        member = self.get(member_id)
+        if len(self._members) == 1:
+            raise ClusterError(
+                f"cannot remove {member_id!r}: it is the cluster's last member"
+            )
+        del self._members[member_id]
+        self._rebuild()
+        return member
 
     def get(self, member_id: str) -> Member:
         try:
@@ -218,5 +287,26 @@ class ClusterMembership:
     def __repr__(self) -> str:
         return (
             f"ClusterMembership(members={len(self._members)}, "
-            f"alive={len(self.alive())})"
+            f"alive={len(self.alive())}, epoch={self._epoch})"
         )
+
+
+def ring_delta(
+    before: HashRing, after: HashRing, keys: Iterable[Any]
+) -> Dict[Any, Tuple[str, str]]:
+    """Which of ``keys`` change owner between two rings.
+
+    Returns ``{key: (old_owner, new_owner)}`` for exactly the keys whose
+    owner differs — the migration set of a membership change.  For a
+    single join of one member into N, consistent hashing bounds the
+    expected size at ≈ ``K/(N+1)`` of ``K`` keys, all moving *to* the
+    newcomer; a removal moves only the removed member's keys, all *away*
+    from it.  Both properties are pinned by the rebalance property suite.
+    """
+    moves: Dict[Any, Tuple[str, str]] = {}
+    for key in keys:
+        old_owner = before.owner(key)
+        new_owner = after.owner(key)
+        if old_owner != new_owner:
+            moves[key] = (old_owner, new_owner)
+    return moves

@@ -28,6 +28,26 @@ Rows applied after the last completed checkpoint die with the member —
 the recovery point is the checkpoint, exactly as for a restarted single
 server.  Clients that need a hard recovery line call ``flush`` then
 ``checkpoint`` (both fan out) before treating rows as durable.
+
+**Elasticity.**  The membership is live: the wire ``join`` op
+(:meth:`ClusterRouter.join`) adds a member to the running ring,
+computes which shard slots the newcomer claims (≈ ``K/(N+1)`` of ``K``
+keys), and *migrates* them — pause the slot's gate, ``flush`` +
+force-``checkpoint`` on the source so every applied row is inside the
+frame, stream the frame to the new owner via ``adopt``, flip the route,
+resume.  Ingest to unaffected keys never blocks; blocking ops on a
+moving slot queue on its gate, and non-blocking ingest gets a typed
+:class:`~repro.errors.RouteMovedError` (nothing was enqueued — always
+safe to retry, which the TCP client does transparently).  ``decommission``
+(:meth:`ClusterRouter.decommission`) is the inverse: drain every slot a
+member hosts to its ring successors the same way, then remove it from
+the ring.  Both run under the topology lock that also serializes
+fail-over, and the health loop *defers* fail-over while a migration
+epoch is open so the two paths can never adopt the same session twice.
+Unlike fail-over — which recovers from the *last* checkpoint and loses
+rows applied after it — a migration is **lossless**: the source is alive
+and drained, so the frame carries every row, and the moved stream
+resumes bit-identically on the new owner.
 """
 
 from __future__ import annotations
@@ -42,6 +62,7 @@ from repro.errors import (
     ClusterError,
     InvalidParameterError,
     MemberDownError,
+    RouteMovedError,
     SerializationError,
     ServeError,
     SessionNotFoundError,
@@ -128,13 +149,12 @@ class ClusterRouter(JsonLinesEndpoint):
                 f"health_failures must be >= 1, got {health_failures}"
             )
         self._membership = ClusterMembership(members, replicas=replicas, seed=seed)
+        self._conn_kwargs = dict(
+            retries=retries, backoff=backoff, request_timeout=request_timeout
+        )
+        self._chaos = None
         self._conns: Dict[str, MemberConnection] = {
-            member.member_id: MemberConnection(
-                member,
-                retries=retries,
-                backoff=backoff,
-                request_timeout=request_timeout,
-            )
+            member.member_id: MemberConnection(member, **self._conn_kwargs)
             for member in self._membership.members()
         }
         self._shared_root = (
@@ -144,9 +164,16 @@ class ClusterRouter(JsonLinesEndpoint):
         self._health_interval = health_interval
         self._health_failures = health_failures
         self._health_task: Optional[asyncio.Task] = None
-        self._failover_lock = asyncio.Lock()
+        #: Serializes every topology change: fail-over, join, decommission.
+        self._topology_lock = asyncio.Lock()
+        #: True while a join/decommission migration epoch is open — the
+        #: health loop defers fail-over rather than racing the migration.
+        self._rebalance_active = False
         self._failovers = 0
         self._sessions_rehydrated = 0
+        self._rebalances = 0
+        self._sessions_migrated = 0
+        self._deferred_failovers = 0
         self._last_failover_error: Optional[str] = None
         self._init_endpoint()
 
@@ -161,6 +188,23 @@ class ClusterRouter(JsonLinesEndpoint):
     def routes(self) -> Dict[Tuple[str, str], SessionRoute]:
         """Live routing directory (``(tenant, name) -> SessionRoute``)."""
         return dict(self._routes)
+
+    @property
+    def chaos(self):
+        """Fault-injection hook installed on every member connection.
+
+        Test seam (see :mod:`repro.cluster.client`): an async callable
+        awaited with ``(member_id, op)`` before each member-bound
+        request, including connections created later by :meth:`join`.
+        Production code leaves it ``None``.
+        """
+        return self._chaos
+
+    @chaos.setter
+    def chaos(self, hook) -> None:
+        self._chaos = hook
+        for connection in self._conns.values():
+            connection.chaos = hook
 
     def member_checkpoint_dir(self, member_id: str) -> Path:
         """Where member ``member_id`` must checkpoint for fail-over to work."""
@@ -219,29 +263,52 @@ class ClusterRouter(JsonLinesEndpoint):
     async def _health_loop(self) -> None:
         while True:
             await asyncio.sleep(self._health_interval)
-            for member in self._membership.alive():
-                try:
-                    await self._conns[member.member_id].ping()
-                except MemberDownError:
-                    member.failures += 1
-                    if member.failures >= self._health_failures:
-                        try:
-                            await self.fail_over(member.member_id)
-                        except (ClusterError, ServeError, OSError) as exc:
-                            # The member stays marked down; the error is
-                            # surfaced via cluster_info rather than
-                            # killing the loop.
-                            self._last_failover_error = (
-                                f"{type(exc).__name__}: {exc}"
-                            )
-                except Exception:  # pragma: no cover - defensive
+            await self._health_sweep()
+
+    async def _health_sweep(self) -> None:
+        """One ping pass over the live members (the health loop's body).
+
+        A member over its failure budget fails over — *unless* a
+        join/decommission migration epoch is currently open.  Fail-over
+        and migration both place sessions via ``adopt``; letting them run
+        concurrently could adopt the same session onto two members, so
+        the sweep defers (keeping the failure count) and the next sweep
+        retries after the epoch closes.  Deferrals are counted in
+        ``cluster_info`` as ``deferred_failovers``.
+        """
+        for member in self._membership.alive():
+            connection = self._conns.get(member.member_id)
+            if connection is None:  # decommissioned mid-sweep
+                continue
+            try:
+                await connection.ping()
+            except MemberDownError:
+                member.failures += 1
+                if member.failures < self._health_failures:
                     continue
-                else:
-                    member.failures = 0
+                if self._rebalance_active:
+                    self._deferred_failovers += 1
+                    continue
+                try:
+                    await self.fail_over(member.member_id)
+                except (ClusterError, ServeError, OSError) as exc:
+                    # The member stays marked down; the error is
+                    # surfaced via cluster_info rather than
+                    # killing the loop.
+                    self._last_failover_error = f"{type(exc).__name__}: {exc}"
+            except Exception:  # pragma: no cover - defensive
+                continue
+            else:
+                member.failures = 0
 
     def _read_member_manifest(self, member_id: str) -> Dict[Tuple[str, str], Dict]:
         """The dead member's checkpoint manifest, keyed by (tenant, name)."""
-        directory = self.member_checkpoint_dir(member_id)
+        return self._read_manifest_dir(self.member_checkpoint_dir(member_id), member_id)
+
+    def _read_manifest_dir(
+        self, directory: Path, member_id: str
+    ) -> Dict[Tuple[str, str], Dict]:
+        """A checkpoint manifest by directory (works for removed members too)."""
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
             raise ClusterError(
@@ -274,7 +341,7 @@ class ClusterRouter(JsonLinesEndpoint):
         the member died before its first checkpoint), or when no healthy
         member remains to take a slot over.
         """
-        async with self._failover_lock:
+        async with self._topology_lock:
             member = self._membership.get(member_id)
             if not member.healthy:
                 return {"member": member_id, "sessions_moved": 0, "already_down": True}
@@ -314,10 +381,229 @@ class ClusterRouter(JsonLinesEndpoint):
                     frame=frame,
                 )
                 route.members[index] = replacement.member_id
+                route.epoch += 1
                 moved += 1
             self._sessions_rehydrated += moved
             self._last_failover_error = None
             return {"member": member_id, "sessions_moved": moved, "already_down": False}
+
+    # ------------------------------------------------------------------
+    # Elasticity: join / decommission with streaming rebalance
+    # ------------------------------------------------------------------
+    def _affected_slots(self) -> List[Tuple[SessionRoute, int, str, str]]:
+        """Slots whose routed member differs from the current ring owner.
+
+        Each entry is ``(route, shard_index, wire_name, source_member)`` —
+        the migration set after a membership change (the routes are the
+        placement of record; the ring is where they *should* live now).
+        """
+        return [
+            (route, index, wire_name, owner)
+            for route in self._routes.values()
+            for index, wire_name, owner in route.slots()
+            if self._membership.route(route.ring_key(index)).member_id != owner
+        ]
+
+    async def _migrate(
+        self, moves: List[Tuple[SessionRoute, int, str, str]]
+    ) -> int:
+        """Stream the moved slots' state to their new ring owners.
+
+        Per slot: pause its gate (blocking senders queue; non-blocking
+        ingest raises :class:`RouteMovedError`), ``flush`` the source's
+        wire session so every enqueued row is applied, force-``checkpoint``
+        the source (one pass per source member), ship the fresh frame to
+        the new owner via ``adopt`` (one bounded retry on a transient
+        transfer failure), best-effort ``drop`` on the source, flip the
+        route and resume the gate.  Gates always reopen — a failed
+        migration leaves the slot where it was, still serving.
+
+        Called with the topology lock held; talks to members through
+        their connections directly (never :meth:`_forward`), so a source
+        dying mid-migration aborts with :class:`MemberDownError` instead
+        of recursing into fail-over under the lock.
+        """
+        if not moves:
+            return 0
+        if self._shared_root is None:
+            raise ClusterError(
+                "live rebalance needs a shared_checkpoint_root: frames "
+                "stream between members through the shared checkpoint "
+                "directory"
+            )
+        by_source: Dict[str, List[Tuple[SessionRoute, int, str, str]]] = {}
+        for move in moves:
+            by_source.setdefault(move[3], []).append(move)
+        for route, index, _, _ in moves:
+            route.pause(index)
+        moved = 0
+        try:
+            for source_id in sorted(by_source):
+                source = self._conns[source_id]
+                # Drain first: rows enqueued before the pause must be
+                # applied so the forced checkpoint frame carries them —
+                # this is what makes a migration lossless where
+                # fail-over is checkpoint-bounded.
+                for route, _, wire_name, _ in by_source[source_id]:
+                    await source.call(
+                        "flush", session=wire_name, tenant=route.tenant
+                    )
+                await source.call("checkpoint", force=True)
+                manifest = self._read_manifest_dir(
+                    self._shared_root / source_id, source_id
+                )
+                for route, index, wire_name, _ in by_source[source_id]:
+                    entry = manifest.get((route.tenant, wire_name))
+                    if entry is None:
+                        raise ClusterError(
+                            f"member {source_id!r} checkpointed no frame for "
+                            f"session {route.tenant!r}/{wire_name!r}; cannot "
+                            "migrate it"
+                        )
+                    target = self._membership.route(route.ring_key(index))
+                    frame_path = self._shared_root / source_id / entry["file"]
+                    frame = base64.b64encode(frame_path.read_bytes()).decode("ascii")
+                    adopt_fields = dict(
+                        session=wire_name,
+                        tenant=route.tenant,
+                        spec=entry.get("spec"),
+                        backend=entry.get("backend"),
+                        ttl=entry.get("ttl"),
+                        rows_applied=entry.get("rows_applied", 0),
+                        frame=frame,
+                    )
+                    try:
+                        await self._conns[target.member_id].call(
+                            "adopt", **adopt_fields
+                        )
+                    except MemberDownError:
+                        # One bounded retry: a transfer dropped by a
+                        # transient fault redials and resends; a member
+                        # that is really gone fails again and aborts.
+                        await asyncio.sleep(0.05)
+                        await self._conns[target.member_id].call(
+                            "adopt", **adopt_fields
+                        )
+                    try:
+                        await source.call(
+                            "drop", session=wire_name, tenant=route.tenant
+                        )
+                    except (ServeError, MemberDownError, OSError):
+                        pass
+                    route.members[index] = target.member_id
+                    route.epoch += 1
+                    moved += 1
+        finally:
+            for route, index, _, _ in moves:
+                route.resume(index)
+        self._sessions_migrated += moved
+        return moved
+
+    async def join(self, member_id: str, host: str, port: int) -> Dict[str, Any]:
+        """Add a member to the running ring and rebalance onto it.
+
+        Pings the newcomer first (an unreachable member never enters the
+        ring), then — under the topology lock — adds it to the
+        membership (a new epoch), computes the slots whose ring owner it
+        became (≈ ``K/(N+1)`` of ``K`` keys, all moving *to* it) and
+        migrates them with :meth:`_migrate`'s pause-and-drain.  Ingest to
+        unaffected keys never blocks.  Returns
+        ``{"joined", "member", "sessions_moved", "epoch"}``.
+        """
+        if not isinstance(member_id, str) or not member_id:
+            raise InvalidParameterError("'join' needs a non-empty member id")
+        if not isinstance(host, str) or not host:
+            raise InvalidParameterError("'join' needs a non-empty host")
+        if not isinstance(port, int) or isinstance(port, bool) or not (
+            0 < port < 65536
+        ):
+            raise InvalidParameterError(f"'join' needs a TCP port, got {port!r}")
+        member = Member(member_id, host, port)
+        connection = MemberConnection(member, **self._conn_kwargs)
+        connection.chaos = self._chaos
+        try:
+            await connection.ping()
+        except MemberDownError as exc:
+            await connection.close()
+            raise ClusterError(
+                f"cannot join {member_id!r}: the member does not answer at "
+                f"{host}:{port} ({exc})"
+            ) from exc
+        async with self._topology_lock:
+            if member_id in (m.member_id for m in self._membership.members()):
+                await connection.close()
+                raise InvalidParameterError(
+                    f"member {member_id!r} is already in the cluster"
+                )
+            self._membership.add_member(member)
+            self._conns[member_id] = connection
+            self._rebalances += 1
+            self._rebalance_active = True
+            try:
+                # On a partial failure the newcomer keeps its ring arcs:
+                # slots that did not move stay on their old members
+                # (routes are authoritative) and keep serving.
+                moved = await self._migrate(self._affected_slots())
+            finally:
+                self._rebalance_active = False
+            return {
+                "joined": True,
+                "member": member_id,
+                "sessions_moved": moved,
+                "epoch": self._membership.epoch,
+            }
+
+    async def decommission(self, member_id: str) -> Dict[str, Any]:
+        """Drain a live member's sessions to ring successors and remove it.
+
+        The member must be healthy — its sessions stream out through a
+        final flush + forced checkpoint, so nothing is lost (compare
+        fail-over, which recovers a *dead* member from its last
+        checkpoint and cannot save rows applied since).  A down member
+        should :meth:`fail_over` instead.  The last member cannot be
+        decommissioned.  Returns
+        ``{"decommissioned", "member", "sessions_moved", "epoch"}``.
+        """
+        async with self._topology_lock:
+            member = self._membership.get(member_id)
+            if not member.healthy:
+                raise ClusterError(
+                    f"member {member_id!r} is down; decommission drains a "
+                    "live member — use fail_over to recover a dead one"
+                )
+            if len(self._membership.alive()) < 2:
+                raise ClusterError(
+                    f"cannot decommission {member_id!r}: no other healthy "
+                    "member to drain its sessions to"
+                )
+            hosted = [
+                (route, index, wire_name, owner)
+                for route in self._routes.values()
+                for index, wire_name, owner in route.slots()
+                if owner == member_id
+            ]
+            if hosted and self._shared_root is None:
+                raise ClusterError(
+                    "live rebalance needs a shared_checkpoint_root: frames "
+                    "stream between members through the shared checkpoint "
+                    "directory"
+                )
+            self._membership.remove_member(member_id)
+            self._rebalances += 1
+            self._rebalance_active = True
+            try:
+                moved = await self._migrate(hosted)
+            finally:
+                self._rebalance_active = False
+            connection = self._conns.pop(member_id, None)
+            if connection is not None:
+                await connection.close()
+            return {
+                "decommissioned": True,
+                "member": member_id,
+                "sessions_moved": moved,
+                "epoch": self._membership.epoch,
+            }
 
     # ------------------------------------------------------------------
     # Forwarding plumbing
@@ -344,25 +630,51 @@ class ClusterRouter(JsonLinesEndpoint):
     async def _forward(
         self, route: SessionRoute, index: int, op: str, **fields
     ) -> Dict[str, Any]:
-        """One op to the member hosting shard ``index``, failing over once.
+        """One op to the member hosting shard ``index``, retrying on moves.
 
-        A :class:`MemberDownError` triggers :meth:`fail_over` (which
-        re-homes the slot and rehydrates its checkpoint) and a single
-        retry against the new owner; if fail-over did not move the slot
-        the original error propagates.
+        Waits on the slot's migration gate first (pause-and-drain: a
+        blocking op on a moving slot queues until the move completes),
+        then snapshots ``(member, epoch)`` and sends.  Three outcomes
+        re-route instead of failing:
+
+        * :class:`MemberDownError` — :meth:`fail_over` re-homes the slot
+          and the op retries on the new owner (if fail-over did not move
+          the slot, the original error propagates);
+        * :class:`SessionNotFoundError` with a *changed* route epoch —
+          the op raced a migration flip (sent to the source after its
+          ``drop``); the retry lands on the new owner.  An unchanged
+          epoch means the session is genuinely gone and the error is
+          real;
+        * a missing connection — the snapshot raced a decommission's
+          connection teardown; re-read the flipped route.
         """
-        member_id = route.members[index]
         fields = dict(
             fields, session=route.wire_name(index), tenant=route.tenant
         )
-        try:
-            return await self._conns[member_id].call(op, **fields)
-        except MemberDownError:
-            await self.fail_over(member_id)
-            replacement = route.members[index]
-            if replacement == member_id:
+        last_error: Optional[Exception] = None
+        for _ in range(3):
+            await route.wait_ready(index)
+            member_id = route.members[index]
+            epoch = route.epoch
+            connection = self._conns.get(member_id)
+            if connection is None:
+                await asyncio.sleep(0)  # let the topology flip settle
+                continue
+            try:
+                return await connection.call(op, **fields)
+            except SessionNotFoundError:
+                if route.epoch != epoch:
+                    continue
                 raise
-            return await self._conns[replacement].call(op, **fields)
+            except MemberDownError as exc:
+                last_error = exc
+                await self.fail_over(member_id)
+                if route.members[index] == member_id and route.epoch == epoch:
+                    raise
+        raise ClusterError(
+            f"could not forward {op!r} for {route.tenant!r}/"
+            f"{route.wire_name(index)!r}: the route kept moving"
+        ) from last_error
 
     async def _forward_all(
         self, route: SessionRoute, op: str, **fields
@@ -422,15 +734,34 @@ class ClusterRouter(JsonLinesEndpoint):
             "cluster": {
                 "members": [m.as_dict() for m in self._membership.members()],
                 "ring": {"replicas": ring.replicas, "seed": ring.seed},
+                "epoch": self._membership.epoch,
                 "sessions": [route.describe() for route in self._routes.values()],
                 "failovers": self._failovers,
                 "sessions_rehydrated": self._sessions_rehydrated,
+                "rebalances": self._rebalances,
+                "sessions_migrated": self._sessions_migrated,
+                "deferred_failovers": self._deferred_failovers,
+                "rebalance_active": self._rebalance_active,
                 "last_failover_error": self._last_failover_error,
                 "shared_checkpoint_root": (
                     None if self._shared_root is None else str(self._shared_root)
                 ),
             }
         }
+
+    async def _op_join(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        port = request.get("port")
+        if isinstance(port, float) and port.is_integer():
+            port = int(port)  # JSON numbers may arrive as floats
+        return await self.join(request.get("member"), request.get("host"), port)
+
+    async def _op_decommission(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        member_id = request.get("member")
+        if not isinstance(member_id, str) or not member_id:
+            raise InvalidParameterError(
+                "'decommission' needs a non-empty member id"
+            )
+        return await self.decommission(member_id)
 
     async def _op_checkpoint(self, request: Dict[str, Any]) -> Dict[str, Any]:
         force = bool(request.get("force", False))
@@ -467,6 +798,8 @@ class ClusterRouter(JsonLinesEndpoint):
                     "members_alive": len(self._membership.alive()),
                     "failovers": self._failovers,
                     "sessions_rehydrated": self._sessions_rehydrated,
+                    "rebalances": self._rebalances,
+                    "sessions_migrated": self._sessions_migrated,
                 },
                 "members": per_member,
             }
@@ -656,7 +989,13 @@ class ClusterRouter(JsonLinesEndpoint):
             timestamps=request.get("timestamps"),
             block=request.get("block"),
         )
+        non_blocking = request.get("block") is False
         if not route.sharded:
+            if non_blocking and route.migrating(0):
+                raise RouteMovedError(
+                    f"session {route.tenant!r}/{route.name!r} is migrating; "
+                    "nothing was enqueued — retry after the move"
+                )
             return await self._forward(
                 route, 0, "update_batch", items=raw_items, **passthrough
             )
@@ -673,6 +1012,14 @@ class ClusterRouter(JsonLinesEndpoint):
             for index, (shard_items, shard_weights, shard_ts) in enumerate(slices)
             if shard_items
         ]
+        if non_blocking and any(route.migrating(index) for index, _, _, _ in sends):
+            # Checked before anything is sent: the whole batch is
+            # rejected atomically, so "no effect — always safe to retry"
+            # holds even when only one target shard is moving.
+            raise RouteMovedError(
+                f"session {route.tenant!r}/{route.name!r} has a shard "
+                "migrating; nothing was enqueued — retry after the move"
+            )
         results = await asyncio.gather(
             *(
                 self._forward(

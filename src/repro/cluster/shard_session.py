@@ -29,6 +29,7 @@ Disjointness is what makes the paper's math exact on gather:
 
 from __future__ import annotations
 
+import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -51,6 +52,16 @@ class SessionRoute:
     (the session's create seed, defaulting to 0), **not** the ring seed —
     scatter must match the shard layout chosen at create time even if the
     ring is configured differently.
+
+    **Rebalance state.**  ``epoch`` records the membership epoch the
+    slot assignment was last computed under; the router bumps it whenever
+    it flips a slot (fail-over, join, decommission), so a forwarding path
+    that cached ``(member, epoch)`` before awaiting can tell a *stale
+    route* from a genuinely missing session.  Each slot also carries a
+    **migration gate**: ``pause(i)`` closes slot ``i`` while its frame
+    streams to a new owner, ``resume(i)`` reopens it, and blocking
+    senders ``await wait_ready(i)`` — pause-and-drain scoped to the one
+    moving shard, never the whole session.
     """
 
     tenant: str
@@ -60,6 +71,12 @@ class SessionRoute:
     seed: int = 0
     #: Extra creation fields replayed on fail-over adoption (ttl, spec...).
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Membership epoch of the current slot assignment.
+    epoch: int = 0
+    #: Per-slot migration gates (slot index -> cleared Event while moving).
+    _gates: Dict[int, asyncio.Event] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         expected = 1 if self.shards is None else self.shards
@@ -98,6 +115,28 @@ class SessionRoute:
             for index, member_id in enumerate(self.members)
         ]
 
+    # -- migration gates ----------------------------------------------
+    def pause(self, index: int) -> None:
+        """Close slot ``index``: blocking senders queue on the gate."""
+        self._gates.setdefault(index, asyncio.Event()).clear()
+
+    def resume(self, index: int) -> None:
+        """Reopen slot ``index``, releasing every waiter."""
+        gate = self._gates.pop(index, None)
+        if gate is not None:
+            gate.set()
+
+    def migrating(self, index: int) -> bool:
+        """Whether slot ``index`` is currently paused for migration."""
+        gate = self._gates.get(index)
+        return gate is not None and not gate.is_set()
+
+    async def wait_ready(self, index: int) -> None:
+        """Block until slot ``index`` is open (no-op when not migrating)."""
+        gate = self._gates.get(index)
+        if gate is not None:
+            await gate.wait()
+
     def describe(self) -> Dict[str, Any]:
         info = dict(self.meta)
         info.update(
@@ -105,6 +144,8 @@ class SessionRoute:
             name=self.name,
             shards=self.shards,
             members=list(self.members),
+            epoch=self.epoch,
+            migrating=[index for index, _, _ in self.slots() if self.migrating(index)],
         )
         return info
 

@@ -98,6 +98,19 @@ class ClusterError(ServeError):
     """
 
 
+class RouteMovedError(ClusterError):
+    """A session's placement changed while the request was in flight.
+
+    Raised by the cluster router when a non-blocking op targets a shard
+    slot that is mid-migration (a ``join`` or ``decommission`` is moving
+    it to another member).  The op had **no effect** — nothing was
+    enqueued — so retrying is always safe; after the migration epoch
+    closes the retry lands on the new owner.
+    :class:`~repro.serve.client.TCPServeClient` retries these
+    transparently up to its ``moved_retries`` budget.
+    """
+
+
 class MemberDownError(ClusterError, ConnectionError):
     """A cluster member could not be reached after bounded retries.
 

@@ -32,6 +32,7 @@ from repro.errors import (
     InvalidParameterError,
     MemberDownError,
     QuotaExceededError,
+    RouteMovedError,
     SerializationError,
     ServeError,
     ServerClosedError,
@@ -60,6 +61,7 @@ _ERROR_TYPES = {
     "SerializationError": SerializationError,
     "ClusterError": ClusterError,
     "MemberDownError": MemberDownError,
+    "RouteMovedError": RouteMovedError,
     "ServeError": ServeError,
 }
 
@@ -239,12 +241,16 @@ class TCPServeClient:
         writer: asyncio.StreamWriter,
         *,
         request_timeout: Optional[float] = None,
+        moved_retries: int = 2,
+        moved_backoff: float = 0.05,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._lock = asyncio.Lock()
         self._request_timeout = request_timeout
+        self._moved_retries = moved_retries
+        self._moved_backoff = moved_backoff
         self.server_hello: Dict[str, Any] = {}
 
     @classmethod
@@ -256,6 +262,8 @@ class TCPServeClient:
         retries: int = 0,
         backoff: float = 0.1,
         request_timeout: Optional[float] = None,
+        moved_retries: int = 2,
+        moved_backoff: float = 0.05,
     ) -> "TCPServeClient":
         """Dial a server, retrying refused/timed-out attempts with backoff.
 
@@ -273,11 +281,22 @@ class TCPServeClient:
             Per-request round-trip bound applied to every call made on
             the returned client (and to each connection attempt).
             ``None`` waits indefinitely.
+        moved_retries:
+            Transparent retries when a cluster router answers
+            :class:`~repro.errors.RouteMovedError` — the op had no
+            effect (a shard was mid-migration), so the client waits
+            ``moved_backoff * 2**attempt`` and resends; the retry lands
+            on the new owner once the migration epoch closes.  0
+            surfaces the error to the caller on first occurrence.
         """
         if retries < 0:
             raise InvalidParameterError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
             raise InvalidParameterError(f"backoff must be >= 0, got {backoff}")
+        if moved_retries < 0:
+            raise InvalidParameterError(
+                f"moved_retries must be >= 0, got {moved_retries}"
+            )
         last_error: Optional[BaseException] = None
         for attempt in range(retries + 1):
             if attempt:
@@ -300,7 +319,13 @@ class TCPServeClient:
                 f"could not connect to {host}:{port} after {retries + 1} "
                 f"attempt(s): {last_error}"
             ) from last_error
-        client = cls(reader, writer, request_timeout=request_timeout)
+        client = cls(
+            reader,
+            writer,
+            request_timeout=request_timeout,
+            moved_retries=moved_retries,
+            moved_backoff=moved_backoff,
+        )
         try:
             hello_line = await client._bounded(reader.readline())
         except ServeError:
@@ -344,6 +369,17 @@ class TCPServeClient:
             ) from exc
 
     async def _call(self, op: str, **fields) -> Dict[str, Any]:
+        """One op with transparent retry-on-moved (see ``moved_retries``)."""
+        for attempt in range(self._moved_retries + 1):
+            try:
+                return await self._call_once(op, **fields)
+            except RouteMovedError:
+                if attempt >= self._moved_retries:
+                    raise
+                await asyncio.sleep(self._moved_backoff * 2**attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _call_once(self, op: str, **fields) -> Dict[str, Any]:
         request = {"id": next(self._ids), "op": op}
         request.update(
             {key: value for key, value in fields.items() if value is not None}
@@ -545,3 +581,23 @@ class TCPServeClient:
     async def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
         """The remote server's operational snapshot, decoded as plain data."""
         return (await self._call("metrics", detail=detail or None))["metrics"]
+
+    # -- cluster administration (router endpoints only) ----------------
+    async def cluster_info(self) -> Dict[str, Any]:
+        """The router's topology snapshot (``cluster_info`` wire op)."""
+        return (await self._call("cluster_info"))["cluster"]
+
+    async def join(
+        self, member_id: str, host: str, port: int
+    ) -> Dict[str, Any]:
+        """Add a member to a running cluster router and rebalance onto it.
+
+        Only a :class:`~repro.cluster.router.ClusterRouter` endpoint
+        answers this; a bare server rejects it as an unknown op.  Returns
+        the router's summary (``sessions_moved``, new ``epoch``).
+        """
+        return await self._call("join", member=member_id, host=host, port=port)
+
+    async def decommission(self, member_id: str) -> Dict[str, Any]:
+        """Drain a member's sessions to ring successors and remove it."""
+        return await self._call("decommission", member=member_id)

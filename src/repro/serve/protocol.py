@@ -60,7 +60,9 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: which otherwise speaks this same protocol on both of its sides.
 #: A ``create`` may carry ``shards: k`` — ignored by a single server,
 #: honoured by a router, which then key-shards the session across ``k``
-#: members (see ``docs/cluster.md``).
+#: members (see ``docs/cluster.md``).  ``join`` and ``decommission`` are
+#: router-only elasticity ops (live membership change with streaming
+#: shard rebalance); a bare server rejects them as unknown.
 KNOWN_OPS = (
     "ping",
     "create",
@@ -80,6 +82,8 @@ KNOWN_OPS = (
     "metrics",
     "adopt",
     "cluster_info",
+    "join",
+    "decommission",
 )
 
 

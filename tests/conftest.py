@@ -3,9 +3,18 @@
 from __future__ import annotations
 
 import random
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+# tests/ holds no __init__.py packages; make the shared helpers under
+# tests/support/ importable (``from support.chaos import ...``) from any
+# test module regardless of which directory pytest was invoked from.
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 from repro.streams.frequency import geometric_counts, scaled_weibull_counts, zipf_counts
 from repro.streams.generators import exchangeable_stream, iterate_rows

@@ -21,6 +21,7 @@ import repro
 from repro.errors import (
     InvalidParameterError,
     QuotaExceededError,
+    RouteMovedError,
     SerializationError,
     ServeError,
     ServerClosedError,
@@ -310,6 +311,114 @@ class TestTCPProtocol:
 # ----------------------------------------------------------------------
 # Production hardening over the wire: metrics, quotas, tiering
 # ----------------------------------------------------------------------
+class TestRouteMovedOverTheWire:
+    """Wire mapping and client retry policy for ``RouteMovedError``.
+
+    The router raises it when non-blocking ingest hits a slot that is
+    mid-migration; by contract the rejected op had no effect, so the
+    client may always retry.  These tests pin the envelope → typed-error
+    mapping and the transparent retry loop without needing a cluster:
+    a monkeypatched bare-server op stands in for the migrating router.
+    """
+
+    def test_envelope_maps_to_typed_error_and_connection_survives(
+        self, monkeypatch
+    ):
+        async def moved(self, request):
+            raise RouteMovedError("slot 0 is migrating")
+
+        monkeypatch.setattr(SketchServer, "_op_flush", moved)
+
+        async def scenario():
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port, moved_retries=0)
+            try:
+                with pytest.raises(RouteMovedError, match="migrating"):
+                    await client.flush("clicks")
+                # A moved rejection is not a connection failure.
+                assert (await client.ping())["pong"] is True
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_client_retries_transparently_until_the_route_settles(
+        self, monkeypatch
+    ):
+        calls = []
+
+        async def settles_on_third(self, request):
+            calls.append(request.get("id"))
+            if len(calls) < 3:
+                raise RouteMovedError("still migrating")
+            return {"rows_applied": 7}
+
+        monkeypatch.setattr(SketchServer, "_op_flush", settles_on_third)
+
+        async def scenario():
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            # Default retry budget (2 retries) covers two moved rejections.
+            client = await TCPServeClient.connect(
+                host, port, moved_backoff=0.001
+            )
+            try:
+                assert await client.flush("clicks") == 7
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+        assert len(calls) == 3
+        assert len(set(calls)) == 3  # each retry is a fresh request id
+
+    def test_exhausted_retry_budget_surfaces_the_error(self, monkeypatch):
+        calls = []
+
+        async def always_moved(self, request):
+            calls.append(1)
+            raise RouteMovedError("the route kept moving")
+
+        monkeypatch.setattr(SketchServer, "_op_flush", always_moved)
+
+        async def scenario():
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(
+                host, port, moved_retries=1, moved_backoff=0.001
+            )
+            try:
+                with pytest.raises(RouteMovedError):
+                    await client.flush("clicks")
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+        assert len(calls) == 2  # the first attempt plus exactly one retry
+
+    def test_bare_server_rejects_cluster_only_ops(self):
+        """``join``/``decommission`` are protocol ops but router-only —
+        a plain member server must refuse them, not half-handle them."""
+
+        async def scenario():
+            server, client = await _tcp_server()
+            try:
+                for op in ("join", "decommission"):
+                    with pytest.raises(
+                        (InvalidParameterError, RemoteServeError),
+                        match="unknown serve op",
+                    ):
+                        await client._call(op, member="m9")
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+
 class TestTCPHardening:
     def test_metrics_op_returns_live_counters(self):
         async def scenario():

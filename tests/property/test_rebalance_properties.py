@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for live rebalance invariants.
+
+The elasticity machinery rests on three ring/partition facts, stated
+here over arbitrary memberships, join/decommission sequences and keys:
+
+* **Bounded movement** — a single join moves only the keys the newcomer
+  claims (expected ``K/(N+1)`` of ``K``), all of them *to* it; a
+  decommission moves only the leaver's keys, all of them *away*.
+  :func:`repro.cluster.membership.ring_delta` must report exactly that
+  set, and its size must respect the consistent-hashing bound (with
+  statistical slack — vnode placement is hash-random).
+* **One owner per epoch** — at every epoch of a random membership-change
+  sequence, ownership is a total function onto the current member set,
+  and rebuilding the ring from the same ``(members, replicas, seed)``
+  reproduces it exactly.
+* **Exact totals across a move** — ownership partitions the key space,
+  so summing per-owner masses gives the exact stream total under the
+  old placement, the new placement, and *any* mid-migration mixture of
+  the two (each key counted at exactly one of its two homes) — the
+  reason scatter-gather reads stay exact while shards are in flight.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterMembership, HashRing, ring_delta, scatter_batch
+
+member_sets = st.sets(
+    st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8),
+    min_size=1,
+    max_size=8,
+)
+keys = st.lists(
+    st.tuples(st.sampled_from(["default", "ads", "t1"]), st.integers(0, 10_000)),
+    min_size=1,
+    max_size=60,
+    unique=True,
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+#: A join/decommission script: True adds the next fresh member, False
+#: removes the oldest remaining one (skipped when it would empty the ring).
+change_scripts = st.lists(st.booleans(), min_size=1, max_size=6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=member_sets, sample=keys, seed=seeds)
+def test_join_moves_only_to_the_newcomer_within_the_bound(members, sample, seed):
+    """All join movement targets the new member, and the moved-key count
+    stays within ceil(K/(N+1)) plus statistical slack."""
+    newcomer = "zz-new"
+    assert newcomer not in members
+    before = HashRing(members, seed=seed)
+    after = HashRing({*members, newcomer}, seed=seed)
+    delta = ring_delta(before, after, sample)
+    for key, (old_owner, new_owner) in delta.items():
+        assert old_owner in members
+        assert new_owner == newcomer  # movement only ever targets the joiner
+        assert before.owner(key) == old_owner
+        assert after.owner(key) == new_owner
+    # Statistical bound: expectation is K/(N+1); 64 vnodes keep member
+    # load within a small constant factor, and the slack term absorbs
+    # small-sample noise without ever tolerating wholesale reshuffling.
+    population = len(sample)
+    expected = math.ceil(population / (len(members) + 1))
+    assert len(delta) <= 3 * expected + 8
+    # Unmoved keys kept their owner (ring_delta reported the full set).
+    for key in sample:
+        if key not in delta:
+            assert after.owner(key) == before.owner(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=member_sets, sample=keys, seed=seeds)
+def test_decommission_moves_only_the_leavers_keys(members, sample, seed):
+    """ring_delta on a shrink is exactly the leaver's key set."""
+    if len(members) < 2:
+        return
+    leaver = sorted(members)[-1]
+    before = HashRing(members, seed=seed)
+    after = HashRing(members - {leaver}, seed=seed)
+    delta = ring_delta(before, after, sample)
+    for key, (old_owner, new_owner) in delta.items():
+        assert old_owner == leaver  # only the leaver's keys move
+        assert new_owner != leaver
+    assert set(delta) == {key for key in sample if before.owner(key) == leaver}
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=change_scripts, sample=keys, seed=seeds)
+def test_every_key_has_exactly_one_owner_per_epoch(script, sample, seed):
+    """Across a random join/decommission sequence: epochs increase by one
+    per change, ownership is total onto the live member set, and a ring
+    rebuilt from the same parameters reproduces it key for key."""
+    membership = ClusterMembership([("m0", "h", 1)], seed=seed)
+    assert membership.epoch == 0
+    counter = 0
+    for grow in script:
+        if grow:
+            counter += 1
+            previous = membership.epoch
+            membership.add_member((f"n{counter}", "h", 1))
+            assert membership.epoch == previous + 1
+        else:
+            current = [m.member_id for m in membership.members()]
+            if len(current) < 2:
+                continue
+            previous = membership.epoch
+            membership.remove_member(current[0])
+            assert membership.epoch == previous + 1
+        ring = membership.ring
+        ids = {m.member_id for m in membership.members()}
+        rebuilt = HashRing(ids, replicas=ring.replicas, seed=ring.seed)
+        for key in sample:
+            owner = ring.owner(key)
+            assert owner in ids  # a total function onto the live set
+            assert rebuilt.owner(key) == owner  # pure in (members, replicas, seed)
+            assert membership.route(key).member_id == owner  # all healthy
+
+
+@settings(max_examples=50, deadline=None)
+@given(sample=keys, seed=seeds, shards=st.integers(2, 6))
+def test_totals_exact_before_during_and_after_a_move(sample, seed, shards):
+    """Partition ⇒ exactness: per-owner mass sums to the stream total
+    under the old placement, the new one, and any mid-move mixture."""
+    items = [key for key in sample]
+    weights = [float(1 + (index % 7)) for index in range(len(items))]
+    total = sum(weights)
+    slices = scatter_batch(items, weights, None, shards, seed=seed)
+    shard_mass = [sum(shard_weights or []) for _, shard_weights, _ in slices]
+    assert sum(shard_mass) == total  # scatter loses nothing
+
+    before = HashRing(["m0", "m1", "m2"], seed=seed)
+    after = HashRing(["m0", "m1", "m2", "m3"], seed=seed)
+    shard_keys = [("default", f"s@shard{index}") for index in range(shards)]
+
+    def gathered(owner_of) -> float:
+        by_member: dict = {}
+        for index, key in enumerate(shard_keys):
+            by_member.setdefault(owner_of(index, key), 0.0)
+            by_member[owner_of(index, key)] += shard_mass[index]
+        return sum(by_member.values())
+
+    assert gathered(lambda i, k: before.owner(k)) == total
+    assert gathered(lambda i, k: after.owner(k)) == total
+    # Mid-migration: any subset of shards already flipped to the new
+    # ring, the rest still on the old one — each shard has exactly one
+    # home either way, so the gather stays exact at every intermediate
+    # step of the move.
+    for moved_prefix in range(shards + 1):
+        owner_of = lambda i, k: (  # noqa: E731
+            after.owner(k) if i < moved_prefix else before.owner(k)
+        )
+        assert gathered(owner_of) == total

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for cluster elasticity tests.
+
+A :class:`ChaosController` is an async hook that plugs into the router's
+``chaos`` seam (:attr:`repro.cluster.router.ClusterRouter.chaos` — copied
+onto every :class:`~repro.cluster.client.MemberConnection`, including
+connections created later by ``join``).  The router awaits it with
+``(member_id, op)`` immediately before each member-bound request, which
+is exactly the point where a real network would lose, delay, or sever
+the connection.
+
+Faults are *scripted*, not random: :meth:`ChaosController.on` registers
+a rule that fires at the ``nth`` matching ``(member_id, op)`` call and
+then disarms.  Three actions cover the races the rebalance machinery
+must survive:
+
+* ``"drop"`` — raise :class:`~repro.errors.MemberDownError` before the
+  request is sent (a lost transfer; the router's bounded retry must
+  resend it);
+* ``"delay"`` — ``await asyncio.sleep`` for a scripted or seeded
+  duration (widens a migration window so concurrent ingest provably
+  overlaps it);
+* ``"kill"`` — await a test-supplied callback (typically
+  ``server.stop()``), modelling a member dying at a precise protocol
+  point.
+
+Determinism contract: every hook invocation — fault or clean pass — is
+appended to :attr:`ChaosController.log`, and the only nondeterministic
+input (unscripted delay durations) comes from a ``random.Random(seed)``
+private to the controller.  Two runs of the same scenario with the same
+seed therefore produce **identical logs**, which is how the integration
+suite asserts "the same chaos seed replays the identical interleaving".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MemberDownError
+
+__all__ = ["ChaosController"]
+
+#: Unscripted delays draw uniformly from this window (seconds) using the
+#: controller's seeded generator — visible wall-clock effect, bounded test
+#: runtime, identical across replays of one seed.
+_JITTER_WINDOW = (0.05, 0.15)
+
+
+class ChaosController:
+    """Scripted, seed-reproducible fault injection for member connections.
+
+    Install with ``router.chaos = controller`` *before* the scenario
+    starts so every connection (and every connection ``join`` creates
+    later) carries the hook.  Rules fire once each, at the ``nth``
+    matching call, in registration order when several match the same
+    call.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: List[Dict[str, Any]] = []
+        self._counts: Dict[Tuple[str, str], int] = {}
+        #: Ordered record of every hook invocation: ``("pass"|"drop"|
+        #: "delay"|"kill", member_id, op, nth, *detail)``.
+        self.log: List[Tuple[Any, ...]] = []
+
+    def on(
+        self,
+        member_id: str,
+        op: str,
+        *,
+        nth: int = 1,
+        action: str = "drop",
+        delay: Optional[float] = None,
+        callback: Optional[Callable[[], Awaitable[Any]]] = None,
+    ) -> "ChaosController":
+        """Arm one fault at the ``nth`` (1-based) ``(member_id, op)`` call.
+
+        ``action`` is ``"drop"``, ``"delay"`` or ``"kill"``; ``delay``
+        overrides the seeded jitter for delays; ``kill`` requires
+        ``callback``.  Returns ``self`` for chaining.
+        """
+        if action not in ("drop", "delay", "kill"):
+            raise ValueError(f"unknown chaos action {action!r}")
+        if action == "kill" and callback is None:
+            raise ValueError("a 'kill' rule needs a callback")
+        if nth < 1:
+            raise ValueError(f"nth is 1-based, got {nth}")
+        self._rules.append(
+            {
+                "member_id": member_id,
+                "op": op,
+                "nth": nth,
+                "action": action,
+                "delay": delay,
+                "callback": callback,
+                "fired": False,
+            }
+        )
+        return self
+
+    def _match(self, member_id: str, op: str, count: int) -> Optional[Dict[str, Any]]:
+        for rule in self._rules:
+            if (
+                not rule["fired"]
+                and rule["member_id"] == member_id
+                and rule["op"] == op
+                and rule["nth"] == count
+            ):
+                return rule
+        return None
+
+    async def __call__(self, member_id: str, op: str) -> None:
+        key = (member_id, op)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        rule = self._match(member_id, op, count)
+        if rule is None:
+            self.log.append(("pass", member_id, op, count))
+            return
+        rule["fired"] = True
+        action = rule["action"]
+        if action == "drop":
+            self.log.append(("drop", member_id, op, count))
+            raise MemberDownError(
+                f"chaos({self.seed}): dropped {op!r} to {member_id!r} "
+                f"(occurrence {count})"
+            )
+        if action == "delay":
+            duration = rule["delay"]
+            if duration is None:
+                duration = self._rng.uniform(*_JITTER_WINDOW)
+            self.log.append(("delay", member_id, op, count, round(duration, 9)))
+            await asyncio.sleep(duration)
+            return
+        self.log.append(("kill", member_id, op, count))
+        await rule["callback"]()
+
+    def fired(self) -> List[Tuple[str, str, str, int]]:
+        """The faults that actually fired, in firing order."""
+        return [entry[:4] for entry in self.log if entry[0] != "pass"]
+
+    def reset(self) -> None:
+        """Re-arm every rule and clear counters, log and RNG state."""
+        self._rng = random.Random(self.seed)
+        self._counts.clear()
+        self.log.clear()
+        for rule in self._rules:
+            rule["fired"] = False
+
+    def __repr__(self) -> str:
+        armed = sum(1 for rule in self._rules if not rule["fired"])
+        return (
+            f"ChaosController(seed={self.seed}, rules={len(self._rules)}, "
+            f"armed={armed}, events={len(self.log)})"
+        )

@@ -1,22 +1,29 @@
 """Unit tests for the cluster tier's pure parts.
 
 The consistent-hash ring (stability, determinism, balance, preference
-order), the membership/liveness layer above it, and the shard-session
-math (scatter partitioning, the unbiased gather-merge, ranking) — all
-pure functions, no sockets.
+order), the membership/liveness layer above it — including live
+membership change (epochs, add/remove, ``ring_delta``) — the
+shard-session math (scatter partitioning, the unbiased gather-merge,
+ranking), the per-slot migration gates, and the ``join``/``decommission``
+wire-op request validation.  All pure functions or in-process asyncio;
+no sockets.
 """
 
 from __future__ import annotations
+
+import asyncio
 
 import pytest
 
 from repro.cluster import (
     ClusterMembership,
+    ClusterRouter,
     HashRing,
     Member,
     SessionRoute,
     merge_shard_states,
     ranked_pairs,
+    ring_delta,
     scatter_batch,
 )
 from repro.distributed.partition import stable_shard
@@ -217,3 +224,221 @@ class TestSessionRoute:
             SessionRoute(tenant="t", name="s", members=["m0"], shards=2)
         with pytest.raises(InvalidParameterError):
             SessionRoute(tenant="t", name="s", members=["m0", "m1"])
+
+
+# ----------------------------------------------------------------------
+# Elastic membership: epochs, add/remove, ring_delta
+# ----------------------------------------------------------------------
+class TestMembershipElasticity:
+    def _membership(self):
+        return ClusterMembership(
+            [("m0", "127.0.0.1", 1), ("m1", "127.0.0.1", 2), ("m2", "127.0.0.1", 3)]
+        )
+
+    def test_epoch_counts_membership_changes_only(self):
+        """add/remove open a new ring generation; liveness flips do not."""
+        membership = self._membership()
+        assert membership.epoch == 0
+        membership.mark_down("m1")
+        membership.mark_up("m1")
+        assert membership.epoch == 0  # liveness is within-generation
+        membership.add_member(("m3", "127.0.0.1", 4))
+        assert membership.epoch == 1
+        membership.remove_member("m3")
+        assert membership.epoch == 2
+
+    def test_add_member_joins_healthy_and_owns_ring_arcs(self):
+        membership = self._membership()
+        membership.add_member(Member("m3", "127.0.0.1", 4))
+        assert membership.get("m3").healthy
+        owners = {membership.route(key).member_id for key in KEYS[:2000]}
+        assert "m3" in owners  # the newcomer actually claims arcs
+
+    def test_add_duplicate_member_rejected_without_epoch_bump(self):
+        membership = self._membership()
+        with pytest.raises(InvalidParameterError):
+            membership.add_member(("m1", "127.0.0.1", 9))
+        assert membership.epoch == 0
+
+    def test_remove_member_hands_arcs_to_successors(self):
+        membership = self._membership()
+        before = {key: membership.route(key).member_id for key in KEYS[:1000]}
+        membership.remove_member("m2")
+        for key, old_owner in before.items():
+            new_owner = membership.route(key).member_id
+            assert new_owner != "m2"
+            if old_owner != "m2":
+                assert new_owner == old_owner  # survivors keep their keys
+
+    def test_remove_guards(self):
+        membership = ClusterMembership([("m0", "h", 1)])
+        with pytest.raises(ClusterError):
+            membership.remove_member("nope")  # unknown member
+        with pytest.raises(ClusterError):
+            membership.remove_member("m0")  # the last member
+
+    def test_ring_delta_reports_exactly_the_moved_keys(self):
+        before = HashRing(["m0", "m1", "m2"], seed=4)
+        after = HashRing(["m0", "m1", "m2", "m3"], seed=4)
+        sample = KEYS[:3000]
+        delta = ring_delta(before, after, sample)
+        assert delta  # a join always claims something at this sample size
+        for key, (old_owner, new_owner) in delta.items():
+            assert (old_owner, new_owner) == (before.owner(key), after.owner(key))
+            assert new_owner == "m3"  # join movement only targets the joiner
+        for key in sample:
+            if key not in delta:
+                assert before.owner(key) == after.owner(key)
+
+    def test_ring_delta_of_identical_rings_is_empty(self):
+        ring = HashRing(["m0", "m1"], seed=2)
+        same = HashRing(["m1", "m0"], seed=2)  # order must not matter
+        assert ring_delta(ring, same, KEYS[:500]) == {}
+
+
+# ----------------------------------------------------------------------
+# SessionRoute migration gates
+# ----------------------------------------------------------------------
+class TestSessionRouteGates:
+    def _route(self):
+        return SessionRoute(
+            tenant="t", name="s", members=["m0", "m1", "m2"], shards=3
+        )
+
+    def test_pause_resume_cycle(self):
+        route = self._route()
+        assert not route.migrating(0)
+        route.pause(0)
+        assert route.migrating(0)
+        assert not route.migrating(1)  # gates are per-slot
+        route.resume(0)
+        assert not route.migrating(0)
+
+    def test_resume_without_pause_is_a_no_op(self):
+        route = self._route()
+        route.resume(1)
+        assert not route.migrating(1)
+
+    def test_wait_ready_parks_until_resume(self):
+        async def scenario():
+            route = self._route()
+            route.pause(2)
+            waiter = asyncio.ensure_future(route.wait_ready(2))
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # parked on the gate
+            route.resume(2)
+            await asyncio.wait_for(waiter, timeout=1.0)
+            # Unpaused slots never block.
+            await asyncio.wait_for(route.wait_ready(0), timeout=1.0)
+
+        asyncio.run(scenario())
+
+    def test_describe_exposes_epoch_and_migrating_slots(self):
+        route = self._route()
+        description = route.describe()
+        assert description["epoch"] == 0
+        assert description["migrating"] == []
+        route.pause(1)
+        route.epoch += 1
+        description = route.describe()
+        assert description["epoch"] == 1
+        assert description["migrating"] == [1]
+
+
+# ----------------------------------------------------------------------
+# join / decommission wire-op request validation (no sockets: every
+# rejection below happens before the router would touch the network)
+# ----------------------------------------------------------------------
+class TestJoinDecommissionValidation:
+    def _router(self, n=3):
+        return ClusterRouter(
+            [(f"m{i}", "127.0.0.1", 40_000 + i) for i in range(n)]
+        )
+
+    def test_join_rejects_malformed_arguments(self):
+        router = self._router()
+
+        async def scenario():
+            for member_id, host, port in [
+                ("", "127.0.0.1", 4000),  # empty member id
+                (None, "127.0.0.1", 4000),  # missing member id
+                ("m9", "", 4000),  # empty host
+                ("m9", "127.0.0.1", 0),  # port below the TCP range
+                ("m9", "127.0.0.1", 65_536),  # port above the TCP range
+                ("m9", "127.0.0.1", "4000"),  # stringly-typed port
+                ("m9", "127.0.0.1", True),  # bool is not a port
+            ]:
+                with pytest.raises(InvalidParameterError):
+                    await router.join(member_id, host, port)
+
+        asyncio.run(scenario())
+        assert router.membership.epoch == 0  # nothing entered the ring
+
+    def test_op_join_coerces_json_float_ports(self):
+        """JSON numbers may decode as floats; integral floats must pass
+        port validation, non-integral ones must not."""
+        router = self._router()
+
+        async def scenario():
+            # 70000.0 is integral ⇒ coerced to int ⇒ rejected as out of
+            # range (not as a type error), proving the coercion ran.
+            with pytest.raises(InvalidParameterError, match="70000"):
+                await router._op_join(
+                    {"member": "m9", "host": "h", "port": 70_000.0}
+                )
+            with pytest.raises(InvalidParameterError, match="4000.5"):
+                await router._op_join(
+                    {"member": "m9", "host": "h", "port": 4000.5}
+                )
+
+        asyncio.run(scenario())
+
+    def test_op_decommission_requires_a_member_id(self):
+        router = self._router()
+
+        async def scenario():
+            with pytest.raises(InvalidParameterError):
+                await router._op_decommission({})
+            with pytest.raises(InvalidParameterError):
+                await router._op_decommission({"member": ""})
+
+        asyncio.run(scenario())
+
+    def test_decommission_rejects_unknown_and_down_members(self):
+        router = self._router()
+
+        async def scenario():
+            with pytest.raises(ClusterError, match="unknown"):
+                await router.decommission("ghost")
+            router.membership.mark_down("m1")
+            with pytest.raises(ClusterError, match="fail_over"):
+                await router.decommission("m1")
+
+        asyncio.run(scenario())
+
+    def test_decommission_refuses_to_empty_the_ring(self):
+        router = self._router(n=2)
+
+        async def scenario():
+            router.membership.mark_down("m1")
+            with pytest.raises(ClusterError, match="no other healthy"):
+                await router.decommission("m0")
+
+        asyncio.run(scenario())
+
+    def test_decommission_without_sessions_needs_no_shared_root(self):
+        """Draining a member that hosts nothing is pure ring surgery —
+        no frames move, so no shared checkpoint directory is needed."""
+        router = self._router()
+
+        async def scenario():
+            return await router.decommission("m2")
+
+        result = asyncio.run(scenario())
+        assert result == {
+            "decommissioned": True,
+            "member": "m2",
+            "sessions_moved": 0,
+            "epoch": 1,
+        }
+        assert [m.member_id for m in router.membership.members()] == ["m0", "m1"]
