@@ -754,6 +754,18 @@ def main(argv: Optional[List[str]] = None) -> Dict[str, object]:
         if args.modes.strip().lower() == "all"
         else tuple(name.strip() for name in args.modes.split(",") if name.strip())
     )
+    valid_modes = ALL_MODES + ("cluster", "rebalance")
+    unknown = sorted(set(modes) - set(valid_modes))
+    if unknown:
+        parser.error(
+            f"--modes: unknown mode(s) {', '.join(repr(m) for m in unknown)}; "
+            f"valid modes: {', '.join(valid_modes)} (or 'all')"
+        )
+    if not modes:
+        parser.error(
+            f"--modes selected nothing; pass a comma-separated subset of "
+            f"{', '.join(valid_modes)} (or 'all')"
+        )
     record = run_ingestion_comparison(
         args.rows,
         num_items=args.num_items,

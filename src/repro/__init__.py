@@ -25,6 +25,10 @@ out by subsystem:
 * :mod:`repro.cluster` — multi-node serving: a consistent-hash router
   over many sketch servers, key-sharded scatter-gather sessions and
   checkpoint-based replica fail-over behind the same wire protocol.
+* :mod:`repro.connectors` — streaming ingestion: partitioned log,
+  file-tailing and socket-firehose sources behind one offset-addressed
+  protocol, plus the exactly-once mini-batch :class:`PipelineDriver`
+  whose checkpoints record per-partition offsets next to sketch state.
 * :mod:`repro.evaluation` — the experiment harness reproducing every figure.
 
 Every sketch ingests rows one at a time via ``update(item, weight)``, in
@@ -52,6 +56,12 @@ from repro.api import (
     supports,
 )
 from repro.cluster import ClusterRouter, HashRing, Member
+from repro.connectors import (
+    FileTailSource,
+    LogSource,
+    PipelineDriver,
+    SocketFirehoseSource,
+)
 from repro.core import (
     AdaptiveUnbiasedSpaceSaving,
     DeterministicSpaceSaving,
@@ -89,11 +99,14 @@ __all__ = [
     "DecayedWindowSketch",
     "DeterministicSpaceSaving",
     "EstimateWithError",
+    "FileTailSource",
     "ForwardDecaySketch",
     "GeneralizedSpaceSaving",
     "HashRing",
+    "LogSource",
     "Member",
     "ParallelSketchExecutor",
+    "PipelineDriver",
     "QueryResult",
     "ShardedSketch",
     "ServeClient",
@@ -101,6 +114,7 @@ __all__ = [
     "SketchRegistry",
     "SketchServer",
     "SlidingWindowSketch",
+    "SocketFirehoseSource",
     "StreamSession",
     "TCPServeClient",
     "TumblingWindowSketch",

@@ -1,0 +1,46 @@
+"""Streaming connectors and the exactly-once mini-batch pipeline driver.
+
+Everything before this package consumed pre-materialized arrays; the
+connectors make the "continuous stream of updates" setting real.  Three
+sources implement one offset-addressable contract
+(:class:`SourceProtocol`):
+
+* :class:`LogSource` — a Kafka-style partitioned append-only log
+  (stable-hash routing of items to partitions, consumer-owned offsets);
+* :class:`FileTailSource` — tail a growing JSON-lines file, offsets are
+  byte positions;
+* :class:`SocketFirehoseSource` / :class:`FirehoseServer` — the same
+  offset-addressed polls over TCP, so replayability survives the
+  network hop.
+
+On top of them, :class:`PipelineDriver` runs the Spark-DStream-shaped
+mini-batch loop — poll every partition, apply through a serve client,
+commit offsets only after the flush — and checkpoints the per-partition
+offset table *inside* one :mod:`repro.io` envelope
+(:class:`DriverCheckpoint`) next to the session's serialized sketch
+frame, RNG state included.  Kill the driver anywhere, call
+:meth:`PipelineDriver.restore`, and the resumed pipeline replays from
+the exact recorded offsets, producing answers bit-identical to a run
+that never crashed.
+
+See ``docs/connectors.md`` for the full lifecycle and the exactly-once
+contract.
+"""
+
+from repro.connectors.base import SourceBatch, SourceProtocol, rows_to_columns
+from repro.connectors.driver import DriverCheckpoint, PipelineDriver
+from repro.connectors.file_tail import FileTailSource
+from repro.connectors.firehose import FirehoseServer, SocketFirehoseSource
+from repro.connectors.log import LogSource
+
+__all__ = [
+    "SourceBatch",
+    "SourceProtocol",
+    "rows_to_columns",
+    "LogSource",
+    "FileTailSource",
+    "FirehoseServer",
+    "SocketFirehoseSource",
+    "DriverCheckpoint",
+    "PipelineDriver",
+]

@@ -1,0 +1,147 @@
+"""A file-tailing connector: one growing JSON-lines file as a source.
+
+:class:`FileTailSource` reads timestamped rows from an append-only
+JSON-lines file — the classic "tail the event log" integration.  Each
+line is one record::
+
+    {"item": "ad-17", "weight": 1.0, "ts": 12.5}
+
+``item`` travels through the same :func:`repro.io.codec.encode_item`
+encoding the wire protocol uses, so tuple labels survive; ``weight`` and
+``ts`` default to ``1.0`` / ``0.0`` when omitted.
+
+The file is a single partition whose **offset is a byte position**, so a
+resumed consumer seeks straight to where it stopped — no line counting,
+no re-reading the prefix.  A poll returns only *complete* lines: a
+partial line still being written at the end of the file stays unread
+until its newline arrives (tail semantics), which keeps every returned
+batch replayable.  If the file shrinks below a recorded offset the poll
+raises :class:`~repro.errors.StaleOffsetError` — the file was truncated
+or rotated, and resuming from the stale byte position would decode
+garbage.
+
+:meth:`FileTailSource.write_rows` is the matching producer helper (used
+by tests and the soak bench to stage workloads on disk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence, Tuple
+
+from repro._typing import Item
+from repro.errors import (
+    ConnectorError,
+    InvalidParameterError,
+    StaleOffsetError,
+    UnknownPartitionError,
+)
+from repro.io.codec import decode_item, encode_item
+from repro.connectors.base import SourceBatch
+
+__all__ = ["FileTailSource"]
+
+Row = Tuple[Item, float, float]
+
+
+class FileTailSource:
+    """Tail one JSON-lines file of ``(item, weight, ts)`` records.
+
+    Parameters
+    ----------
+    path:
+        The file to tail.  It does not need to exist yet — polls before
+        creation return empty batches at offset 0.
+    partition:
+        The partition id this source reports; defaults to the file name.
+    """
+
+    def __init__(self, path, *, partition: str | None = None) -> None:
+        self._path = Path(path)
+        self._partition = partition if partition is not None else self._path.name
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Producer helper
+    # ------------------------------------------------------------------
+    def write_rows(self, rows: Iterable[Row]) -> int:
+        """Append rows to the tailed file as JSON lines; returns rows written."""
+        count = 0
+        with self._path.open("a", encoding="utf-8") as handle:
+            for item, weight, ts in rows:
+                record = {
+                    "item": encode_item(item),
+                    "weight": float(weight),
+                    "ts": float(ts),
+                }
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # SourceProtocol surface
+    # ------------------------------------------------------------------
+    def partitions(self) -> Sequence[str]:
+        return [self._partition]
+
+    def poll(self, partition: str, offset: int, max_rows: int) -> SourceBatch:
+        if partition != self._partition:
+            raise UnknownPartitionError(
+                f"file source tails partition {self._partition!r}, "
+                f"not {partition!r}"
+            )
+        if offset < 0:
+            raise InvalidParameterError(f"offset must be >= 0, got {offset}")
+        if max_rows < 1:
+            raise InvalidParameterError(f"max_rows must be >= 1, got {max_rows}")
+        if not self._path.exists():
+            if offset > 0:
+                raise StaleOffsetError(
+                    f"offset {offset} recorded for {self._path}, but the "
+                    "file no longer exists: it was rotated or deleted; "
+                    "re-seed the consumer"
+                )
+            return SourceBatch(partition=partition, next_offset=0)
+        size = os.path.getsize(self._path)
+        if offset > size:
+            raise StaleOffsetError(
+                f"offset {offset} is past the end of {self._path} "
+                f"({size} bytes): the file was truncated since the offset "
+                "was recorded; re-seed the consumer"
+            )
+        rows = []
+        with self._path.open("rb") as handle:
+            handle.seek(offset)
+            position = offset
+            while len(rows) < max_rows:
+                line = handle.readline()
+                if not line.endswith(b"\n"):
+                    break  # incomplete tail line: wait for its newline
+                position += len(line)
+                stripped = line.strip()
+                if stripped:
+                    rows.append(self._decode_record(stripped, position))
+        return SourceBatch.from_rows(partition, rows, position)
+
+    @staticmethod
+    def _decode_record(line: bytes, position: int) -> Row:
+        try:
+            record = json.loads(line.decode("utf-8"))
+            item = decode_item(record["item"])
+        except (ValueError, KeyError, UnicodeDecodeError) as error:
+            raise ConnectorError(
+                f"malformed JSON-lines record ending at byte {position}: {error}"
+            ) from error
+        return (
+            item,
+            float(record.get("weight", 1.0)),
+            float(record.get("ts", 0.0)),
+        )
+
+    def __repr__(self) -> str:
+        return f"FileTailSource({str(self._path)!r})"

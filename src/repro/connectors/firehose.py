@@ -1,0 +1,204 @@
+"""A socket-firehose connector: offset-addressed polls over TCP.
+
+A naive socket feed ("connect and read whatever streams past") cannot
+support exactly-once resume — rows seen during a crash are simply gone.
+This connector therefore speaks a minimal *replayable* firehose
+protocol: every poll is one JSON-lines request naming an explicit
+``(partition, offset, max_rows)`` window, and the server — backed by any
+:class:`~repro.connectors.base.SourceProtocol`, typically a
+:class:`~repro.connectors.log.LogSource` retained on the producer side —
+answers with exactly those rows.  Offsets stay consumer-owned, so the
+pipeline driver's checkpointed positions replay bit-identically across
+the socket just as they do in process.
+
+* :class:`FirehoseServer` — a threaded TCP server exporting a local
+  source (one request per connection; runs in a daemon thread so asyncio
+  consumers never block it).
+* :class:`SocketFirehoseSource` — the client side: a
+  :class:`SourceProtocol` whose polls dial the server.  Typed offset
+  errors (:class:`~repro.errors.StaleOffsetError`,
+  :class:`~repro.errors.UnknownPartitionError`) re-raise locally.
+
+Wire shapes (one JSON object per line)::
+
+    -> {"op": "partitions"}
+    <- {"partitions": ["p0", "p1"]}
+    -> {"op": "poll", "partition": "p0", "offset": 128, "max_rows": 500}
+    <- {"rows": [[item, weight, ts], ...], "next_offset": 628}
+    <- {"error": {"type": "StaleOffsetError", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.errors import (
+    ConnectorError,
+    StaleOffsetError,
+    UnknownPartitionError,
+)
+from repro.io.codec import decode_item, encode_item
+from repro.connectors.base import SourceBatch, SourceProtocol
+
+__all__ = ["FirehoseServer", "SocketFirehoseSource"]
+
+#: Remote error type name -> local class; anything else raises the base
+#: :class:`ConnectorError`.
+_ERROR_TYPES = {
+    "StaleOffsetError": StaleOffsetError,
+    "UnknownPartitionError": UnknownPartitionError,
+}
+
+_MAX_REQUEST_BYTES = 1 << 16
+
+
+class _FirehoseHandler(socketserver.StreamRequestHandler):
+    """One request-response exchange per connection."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via the source
+        line = self.rfile.readline(_MAX_REQUEST_BYTES)
+        if not line:
+            return
+        try:
+            response = self._answer(json.loads(line.decode("utf-8")))
+        except Exception as error:  # noqa: BLE001 - typed on the wire
+            response = {
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+            }
+        payload = json.dumps(response, separators=(",", ":")) + "\n"
+        self.wfile.write(payload.encode("utf-8"))
+
+    def _answer(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        source: SourceProtocol = self.server.source  # type: ignore[attr-defined]
+        op = request.get("op")
+        if op == "partitions":
+            return {"partitions": list(source.partitions())}
+        if op == "poll":
+            batch = source.poll(
+                str(request["partition"]),
+                int(request["offset"]),
+                int(request["max_rows"]),
+            )
+            return {
+                "rows": [
+                    [encode_item(item), weight, ts]
+                    for item, weight, ts in zip(
+                        batch.items, batch.weights, batch.timestamps
+                    )
+                ],
+                "next_offset": batch.next_offset,
+            }
+        raise ConnectorError(f"unknown firehose op {op!r}")
+
+
+class FirehoseServer:
+    """Export a local source over TCP for :class:`SocketFirehoseSource` polls.
+
+    Usable as a context manager; ``address`` is the bound ``(host, port)``
+    (port 0 picks an ephemeral one).  The accept loop runs in a daemon
+    thread, so an asyncio pipeline driver polling through a
+    :class:`SocketFirehoseSource` in the same process never deadlocks.
+    """
+
+    def __init__(
+        self, source: SourceProtocol, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _FirehoseHandler)
+        self._server.source = source  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"firehose:{self._server.server_address}",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "FirehoseServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "FirehoseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+
+class SocketFirehoseSource:
+    """A :class:`SourceProtocol` over a remote :class:`FirehoseServer`.
+
+    Each poll is one short-lived connection (request, response, close),
+    so the source holds no state between polls — crash-and-restart needs
+    nothing but the consumer's recorded offsets.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, connect_timeout: float = 5.0
+    ) -> None:
+        self._host = str(host)
+        self._port = int(port)
+        self._timeout = float(connect_timeout)
+
+    def partitions(self) -> Sequence[str]:
+        response = self._request({"op": "partitions"})
+        return [str(name) for name in response["partitions"]]
+
+    def poll(self, partition: str, offset: int, max_rows: int) -> SourceBatch:
+        response = self._request(
+            {
+                "op": "poll",
+                "partition": partition,
+                "offset": int(offset),
+                "max_rows": int(max_rows),
+            }
+        )
+        rows = [
+            (decode_item(item), float(weight), float(ts))
+            for item, weight, ts in response["rows"]
+        ]
+        return SourceBatch.from_rows(partition, rows, int(response["next_offset"]))
+
+    def _request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = json.dumps(request, separators=(",", ":")) + "\n"
+        try:
+            with socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            ) as conn:
+                conn.sendall(payload.encode("utf-8"))
+                with conn.makefile("rb") as reader:
+                    line = reader.readline()
+        except OSError as error:
+            raise ConnectorError(
+                f"firehose at {self._host}:{self._port} unreachable: {error}"
+            ) from error
+        if not line:
+            raise ConnectorError(
+                f"firehose at {self._host}:{self._port} closed without answering"
+            )
+        response = json.loads(line.decode("utf-8"))
+        error = response.get("error")
+        if error is not None:
+            exc_class = _ERROR_TYPES.get(error.get("type"), ConnectorError)
+            raise exc_class(error.get("message", "remote firehose error"))
+        return response
+
+    def __repr__(self) -> str:
+        return f"SocketFirehoseSource({self._host!r}, {self._port})"

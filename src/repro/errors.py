@@ -122,6 +122,41 @@ class MemberDownError(ClusterError, ConnectionError):
     """
 
 
+class ConnectorError(ReproError):
+    """Base class for errors raised by the :mod:`repro.connectors` sources.
+
+    Covers ingestion-side failures that have no sketch analogue:
+    malformed source records, sources polled for partitions they do not
+    hold, and offset bookkeeping that no longer matches the source.
+    """
+
+
+class UnknownPartitionError(ConnectorError, KeyError):
+    """A source was polled for a partition it does not hold.
+
+    Subclasses :class:`KeyError` because a source is a keyed collection
+    of partitions.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else ""
+
+
+class StaleOffsetError(ConnectorError, ValueError):
+    """A committed offset points past the end of its partition.
+
+    Raised when a consumer resumes from a recorded offset but the
+    partition has *rewound* underneath it — the log was truncated,
+    recreated, or replaced with a shorter one — so replaying "from the
+    offset" would silently skip or refabricate rows.  Exactly-once
+    resume refuses the poll instead: the recorded offset no longer names
+    a position in this partition, and continuing would break the
+    bit-identical replay contract.  Catching it is the operator's cue to
+    re-seed the pipeline (fresh checkpoint, offset 0) rather than trust
+    the stale frame.
+    """
+
+
 class SerializationError(ReproError, ValueError):
     """A sketch payload could not be encoded or decoded.
 

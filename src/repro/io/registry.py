@@ -40,6 +40,11 @@ _SKETCH_MODULES: Dict[str, str] = {
     "TumblingWindowSketch": "repro.windows.windowed",
     "SlidingWindowSketch": "repro.windows.windowed",
     "DecayedWindowSketch": "repro.windows.decayed",
+    # Not a sketch, but the same envelope contract: the pipeline driver's
+    # checkpoint frame (per-partition offset manifest + nested sketch
+    # frame), so checkpoint directories mixing sketches and driver
+    # frames stay loadable through one dispatcher.
+    "DriverCheckpoint": "repro.connectors.driver",
 }
 
 

@@ -207,6 +207,69 @@ class ServeClient:
         manifest = self._server.checkpointer.checkpoint_now(force=force)
         return len(manifest["sessions"])
 
+    async def export(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> Dict[str, Any]:
+        """Serialize a session's estimator: the state-capture half of adopt.
+
+        Returns ``{"frame", "spec", "backend", "rows_applied"}`` where
+        ``frame`` is the session's complete :mod:`repro.io` envelope (RNG
+        state included).  The pipeline driver's checkpoints are built
+        from this — frame and row counter captured at a flushed batch
+        boundary describe one exact stream position.
+        """
+        served = self._served(name, tenant)
+        to_bytes = getattr(served.session.estimator, "to_bytes", None)
+        if not callable(to_bytes):
+            raise SerializationError(
+                f"session {tenant!r}/{name!r} serves a "
+                f"{type(served.session.estimator).__name__}, which does not "
+                "implement the serialization contract (no to_bytes)"
+            )
+        info = served.session.describe()
+        return {
+            "frame": to_bytes(),
+            "spec": info["spec"],
+            "backend": info["backend"],
+            "rows_applied": served.stats.rows_applied,
+        }
+
+    async def adopt(
+        self,
+        name: str,
+        frame: bytes,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        spec: Optional[str] = None,
+        backend: Optional[str] = None,
+        rows_applied: int = 0,
+        ttl: Optional[float] = None,
+        queue_maxsize: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Serve a serialized estimator frame under ``(tenant, name)``.
+
+        The in-process twin of the wire ``adopt`` op (and the inverse of
+        :meth:`export`): the frame is loaded through the :mod:`repro.io`
+        type registry and served with its recorded ``rows_applied``
+        counter, so a restored session reports the same progress the
+        exporter saw.  Raises if the key is already served — drop the
+        old session first.
+        """
+        from repro.api.session import StreamSession
+        from repro.io import load_bytes
+
+        estimator = load_bytes(bytes(frame))
+        session = StreamSession(
+            estimator, spec_name=spec, backend=backend or "inline"
+        )
+        served = self._server.registry.adopt(
+            name, session, tenant=tenant, ttl=ttl, queue_maxsize=queue_maxsize
+        )
+        served.rows_checkpointed = int(rows_applied)
+        served.stats.rows_applied = int(rows_applied)
+        served.stats.rows_enqueued = int(rows_applied)
+        return served.describe()
+
     async def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
         """The server's operational snapshot (see ``SketchServer.metrics``)."""
         return self._server.metrics(detail=detail)
@@ -577,6 +640,54 @@ class TCPServeClient:
 
     async def checkpoint(self, *, force: bool = False) -> int:
         return int((await self._call("checkpoint", force=force or None))["sessions"])
+
+    async def export(
+        self, name: str, *, tenant: str = DEFAULT_TENANT
+    ) -> Dict[str, Any]:
+        """Fetch a session's serialized frame; same shape as the in-process
+        :meth:`ServeClient.export` (the base64 hop is decoded here)."""
+        import base64
+
+        result = await self._call("export", session=name, tenant=tenant)
+        return {
+            "frame": base64.b64decode(result["frame"].encode("ascii")),
+            "spec": result.get("spec"),
+            "backend": result.get("backend"),
+            "rows_applied": int(result.get("rows_applied", 0)),
+        }
+
+    async def adopt(
+        self,
+        name: str,
+        frame: bytes,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        spec: Optional[str] = None,
+        backend: Optional[str] = None,
+        rows_applied: int = 0,
+        ttl: Optional[float] = None,
+        queue_maxsize: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Serve a serialized estimator frame on the remote server.
+
+        The typed wrapper over the ``adopt`` wire op the cluster tier's
+        fail-over path uses; ``frame`` is raw :mod:`repro.io` bytes (the
+        base64 encoding is applied here).
+        """
+        import base64
+
+        result = await self._call(
+            "adopt",
+            session=name,
+            tenant=tenant,
+            frame=base64.b64encode(bytes(frame)).decode("ascii"),
+            spec=spec,
+            backend=backend,
+            rows_applied=int(rows_applied) or None,
+            ttl=ttl,
+            queue_maxsize=queue_maxsize,
+        )
+        return result["info"]
 
     async def metrics(self, *, detail: bool = False) -> Dict[str, Any]:
         """The remote server's operational snapshot, decoded as plain data."""

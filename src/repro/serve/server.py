@@ -477,6 +477,30 @@ class SketchServer(JsonLinesEndpoint):
         served.stats.rows_enqueued = rows
         return {"adopted": True, "info": _jsonable_info(served.describe())}
 
+    async def _op_export(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The inverse of ``adopt``: serialize a served session's estimator.
+
+        Returns the session's complete :mod:`repro.io` frame (base64 on
+        the wire, RNG state inside) plus the spec/backend labels and
+        applied-row counter an ``adopt`` on another server — or a
+        pipeline-driver checkpoint — needs to resume it exactly.
+        """
+        served = self._served(request)
+        to_bytes = getattr(served.session.estimator, "to_bytes", None)
+        if not callable(to_bytes):
+            raise SerializationError(
+                f"session {served.tenant!r}/{served.name!r} serves a "
+                f"{type(served.session.estimator).__name__}, which does not "
+                "implement the serialization contract (no to_bytes)"
+            )
+        info = served.session.describe()
+        return {
+            "frame": base64.b64encode(to_bytes()).decode("ascii"),
+            "spec": info["spec"],
+            "backend": info["backend"],
+            "rows_applied": served.stats.rows_applied,
+        }
+
     async def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"metrics": self.metrics(detail=bool(request.get("detail", False)))}
 

@@ -21,6 +21,7 @@ from repro.streams.frequency import (
 )
 from repro.streams.generators import (
     BurstSpec,
+    bursty_soak_stream,
     chunk_stream,
     concatenate_streams,
     deterministic_round_robin_stream,
@@ -52,6 +53,7 @@ __all__ = [
     "weibull_counts",
     "zipf_counts",
     "BurstSpec",
+    "bursty_soak_stream",
     "chunk_stream",
     "concatenate_streams",
     "deterministic_round_robin_stream",

@@ -29,6 +29,7 @@ __all__ = [
     "deterministic_round_robin_stream",
     "concatenate_streams",
     "BurstSpec",
+    "bursty_soak_stream",
     "timestamp_rows",
     "timestamped_zipf_stream",
     "timestamped_adclick_stream",
@@ -286,6 +287,77 @@ def timestamped_adclick_stream(
         dataset.impressions(), start=start, duration=duration, rng=rng
     )
     return _splice_bursts(rows, bursts, rng)
+
+
+def bursty_soak_stream(
+    rows_per_hour: int,
+    *,
+    hours: float = 1.0,
+    num_items: int = 1_000,
+    exponent: float = 1.1,
+    bursts_per_hour: float = 4.0,
+    burst_rows: Optional[int] = None,
+    burst_duration: float = 60.0,
+    start: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TimestampedRow]:
+    """An hours-equivalent bursty workload, compressed into one stream.
+
+    The soak benchmark's input: ``hours`` of simulated wall clock
+    (``hours * 3600`` seconds of timestamp range) carrying
+    ``rows_per_hour`` background Zipf rows per hour, with
+    ``bursts_per_hour`` evenly-spaced :class:`BurstSpec` spikes.  Each
+    burst promotes a *fresh* item (labelled ``num_items+1, num_items+2,
+    ...`` — beyond the background alphabet of ``1..num_items``) from
+    nothing to heavy hitter
+    for ``burst_duration`` seconds, the churny traffic shape that
+    stresses Space Saving's eviction path and windowed queries alike.
+
+    Everything is driven by ``rng``, so one seed fixes the whole
+    workload — which is what lets the soak harness replay the identical
+    stream through a killed-and-restored pipeline.
+
+    >>> rows = bursty_soak_stream(
+    ...     1000, hours=2.0, num_items=50, bursts_per_hour=2.0,
+    ...     burst_rows=100, rng=np.random.default_rng(7))
+    >>> len(rows)  # 2h x 1000 rows/h background + 4 bursts x 100 rows
+    2400
+    >>> all(a[2] <= b[2] for a, b in zip(rows, rows[1:]))  # time-sorted
+    True
+    >>> sorted({item for item, _, _ in rows if item > 50})  # burst items
+    [51, 52, 53, 54]
+    """
+    if rows_per_hour < 0:
+        raise InvalidParameterError("rows_per_hour must be non-negative")
+    if hours <= 0:
+        raise InvalidParameterError("hours must be positive")
+    if bursts_per_hour < 0:
+        raise InvalidParameterError("bursts_per_hour must be non-negative")
+    rng = rng or np.random.default_rng()
+    duration = hours * 3600.0
+    total_rows = int(round(rows_per_hour * hours))
+    num_bursts = int(round(bursts_per_hour * hours))
+    if burst_rows is None:
+        burst_rows = max(1, total_rows // (10 * max(num_bursts, 1)))
+    spacing = duration / max(num_bursts, 1)
+    bursts = [
+        BurstSpec(
+            item=num_items + 1 + index,
+            at=start + (index + 0.5) * spacing,
+            duration=min(burst_duration, spacing / 2),
+            rows=burst_rows,
+        )
+        for index in range(num_bursts)
+    ]
+    return timestamped_zipf_stream(
+        total_rows,
+        num_items=num_items,
+        exponent=exponent,
+        start=start,
+        duration=duration,
+        bursts=bursts,
+        rng=rng,
+    )
 
 
 def chunk_stream(stream: Stream, batch_rows: int) -> List[Stream]:

@@ -1,0 +1,410 @@
+"""Kill/restore integration tests for the exactly-once pipeline driver.
+
+The contract under test (see ``docs/connectors.md``): kill a
+:class:`~repro.connectors.PipelineDriver` anywhere — between ticks or
+mid-tick, in process or across TCP — restore it from its
+offsets+frame checkpoint into a *fresh* server, drain the rest of the
+source, and every query answer is **bit-identical** to a run that never
+crashed.  Plus the edge cases around the offset manifest: checkpoints
+written mid-tick through the ``on_partition_applied`` hook, permanently
+empty partitions, and a partition that rewound under a recorded offset
+(refused with a typed :class:`~repro.errors.StaleOffsetError`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.connectors import (
+    FileTailSource,
+    FirehoseServer,
+    LogSource,
+    PipelineDriver,
+    SocketFirehoseSource,
+)
+from repro.errors import ConnectorError, StaleOffsetError
+from repro.io import load_checkpoint
+from repro.connectors import DriverCheckpoint
+from repro.serve import ServeClient, SketchServer, TCPServeClient
+from repro.streams import bursty_soak_stream
+
+SPEC = "unbiased_space_saving"
+CAPACITY = 32
+SEED = 11
+BATCH_ROWS = 40
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def workload(rows: int = 600, seed: int = 5):
+    """A deterministic bursty stream small enough for tier-1."""
+    return bursty_soak_stream(
+        rows,
+        hours=1.0,
+        num_items=40,
+        bursts_per_hour=2.0,
+        burst_rows=40,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class _Killed(RuntimeError):
+    """Stands in for the driver process dying mid-run."""
+
+
+async def _create_session(client, name: str = "pipe") -> None:
+    await client.create(name, spec=SPEC, size=CAPACITY, seed=SEED)
+
+
+async def _reference_answers(source):
+    """Final answers of an uninterrupted drain of ``source``."""
+    async with SketchServer() as server:
+        client = ServeClient(server)
+        await _create_session(client)
+        driver = PipelineDriver(
+            source, client, session="pipe", batch_rows=BATCH_ROWS
+        )
+        summary = await driver.run(final_checkpoint=False)
+        return (
+            await client.estimates("pipe"),
+            await client.total("pipe"),
+            summary,
+        )
+
+
+async def _killed_then_restored_answers(
+    source, checkpoint_path, *, kill_after_applies: int
+):
+    """Kill mid-run at a fresh mid-tick checkpoint; restore; drain."""
+    applies = 0
+
+    async with SketchServer() as server:
+        client = ServeClient(server)
+        await _create_session(client)
+        driver = None
+
+        async def kill_hook(partition: str, rows: int) -> None:
+            nonlocal applies
+            applies += 1
+            if applies == kill_after_applies:
+                await driver.checkpoint()
+                raise _Killed(partition)
+
+        driver = PipelineDriver(
+            source,
+            client,
+            session="pipe",
+            batch_rows=BATCH_ROWS,
+            checkpoint_path=checkpoint_path,
+            on_partition_applied=kill_hook,
+        )
+        with pytest.raises(_Killed):
+            await driver.run(final_checkpoint=False)
+        # The crash: nothing from this server or driver survives.
+
+    async with SketchServer() as server:
+        client = ServeClient(server)
+        restored = await PipelineDriver.restore(
+            checkpoint_path, source, client, batch_rows=BATCH_ROWS
+        )
+        summary = await restored.run(final_checkpoint=False)
+        return (
+            await client.estimates("pipe"),
+            await client.total("pipe"),
+            summary,
+        )
+
+
+# ----------------------------------------------------------------------
+# The headline guarantee: bit-identical kill/resume
+# ----------------------------------------------------------------------
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("kill_after_applies", [1, 2, 3, 4, 7, 11])
+    def test_mid_tick_kill_resumes_bit_identically(
+        self, tmp_path, kill_after_applies
+    ):
+        """Every kill point — tick boundaries and mid-tick alike."""
+
+        async def scenario():
+            source = LogSource.from_rows(
+                workload(), num_partitions=3, seed=2
+            )
+            ref_estimates, ref_total, ref_summary = await _reference_answers(
+                source
+            )
+            estimates, total, summary = await _killed_then_restored_answers(
+                source,
+                tmp_path / "driver.ckpt",
+                kill_after_applies=kill_after_applies,
+            )
+            assert estimates == ref_estimates  # exact, not approximate
+            assert total == ref_total
+            assert summary["rows_ingested"] == ref_summary["rows_ingested"]
+            assert summary["offsets"] == ref_summary["offsets"]
+
+        run(scenario())
+
+    def test_periodic_checkpoints_resume_from_the_latest(self, tmp_path):
+        """run() checkpoints every N ticks; a crash between checkpoints
+        replays only the rows after the last one, exactly once."""
+
+        async def scenario():
+            source = LogSource.from_rows(workload(), num_partitions=2, seed=3)
+            ref_estimates, ref_total, _ = await _reference_answers(source)
+            path = tmp_path / "driver.ckpt"
+
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                await _create_session(client)
+                driver = PipelineDriver(
+                    source,
+                    client,
+                    session="pipe",
+                    batch_rows=BATCH_ROWS,
+                    checkpoint_path=path,
+                    checkpoint_every=2,
+                )
+                # A few ticks, then "crash" with no final checkpoint.
+                await driver.run(max_ticks=3, final_checkpoint=False)
+
+            checkpoint = load_checkpoint(path, expected_type=DriverCheckpoint)
+            assert checkpoint.ticks == 2  # the every-2-ticks one
+
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                restored = await PipelineDriver.restore(
+                    path, source, client, batch_rows=BATCH_ROWS
+                )
+                assert restored.ticks == 2
+                await restored.run(final_checkpoint=False)
+                assert await client.estimates("pipe") == ref_estimates
+                assert await client.total("pipe") == ref_total
+
+        run(scenario())
+
+    def test_kill_resume_over_tcp(self, tmp_path):
+        """The same guarantee with the serve layer across a real socket."""
+
+        async def scenario():
+            source = LogSource.from_rows(workload(400), num_partitions=2, seed=9)
+            path = tmp_path / "driver.ckpt"
+
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port)
+            await _create_session(client)
+            reference = PipelineDriver(
+                source, client, session="pipe", batch_rows=BATCH_ROWS
+            )
+            await reference.run(final_checkpoint=False)
+            ref_estimates = await client.estimates("pipe")
+            ref_total = await client.total("pipe")
+            await client.close()
+            await server.stop()
+
+            applies = 0
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port)
+            await _create_session(client)
+            driver = None
+
+            async def kill_hook(partition: str, rows: int) -> None:
+                nonlocal applies
+                applies += 1
+                if applies == 3:  # mid tick 2 of the 2-partition sweep
+                    await driver.checkpoint()
+                    raise _Killed(partition)
+
+            driver = PipelineDriver(
+                source,
+                client,
+                session="pipe",
+                batch_rows=BATCH_ROWS,
+                checkpoint_path=path,
+                on_partition_applied=kill_hook,
+            )
+            with pytest.raises(_Killed):
+                await driver.run(final_checkpoint=False)
+            await client.close()
+            await server.stop()
+
+            server = SketchServer()
+            host, port = await server.start_tcp("127.0.0.1", 0)
+            client = await TCPServeClient.connect(host, port)
+            restored = await PipelineDriver.restore(
+                path, source, client, batch_rows=BATCH_ROWS
+            )
+            await restored.run(final_checkpoint=False)
+            assert await client.estimates("pipe") == ref_estimates
+            assert await client.total("pipe") == ref_total
+            await client.close()
+            await server.stop()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Offset-manifest edge cases
+# ----------------------------------------------------------------------
+class TestOffsetEdgeCases:
+    def test_checkpoint_between_flush_and_next_poll_is_consistent(
+        self, tmp_path
+    ):
+        """A checkpoint written at a partition boundary mid-tick pairs the
+        sketch frame with exactly the offsets of the rows it absorbed."""
+
+        async def scenario():
+            source = LogSource.from_rows(workload(300), num_partitions=3, seed=4)
+            path = tmp_path / "driver.ckpt"
+            observed = []
+
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                await _create_session(client)
+                driver = None
+
+                async def checkpointing_hook(partition, rows):
+                    checkpoint = await driver.checkpoint()
+                    observed.append(
+                        (partition, dict(checkpoint.offsets), checkpoint.rows_applied)
+                    )
+
+                driver = PipelineDriver(
+                    source,
+                    client,
+                    session="pipe",
+                    batch_rows=BATCH_ROWS,
+                    checkpoint_path=path,
+                    on_partition_applied=checkpointing_hook,
+                )
+                await driver.run(final_checkpoint=False)
+
+            # Every mid-tick checkpoint's offset table sums to exactly the
+            # rows its frame had applied: offsets and sketch state never
+            # drift apart, at any boundary.
+            for _, offsets, rows_applied in observed:
+                assert sum(offsets.values()) == rows_applied
+
+        run(scenario())
+
+    def test_empty_partitions_do_not_block_resume(self, tmp_path):
+        async def scenario():
+            # Partition the rows so at least one partition stays empty
+            # forever: explicit appends to p0 only, p1/p2 never written.
+            source = LogSource(num_partitions=3, seed=0)
+            for item, weight, ts in workload(200):
+                source.append(item, weight, ts, partition="p0")
+            assert source.end_offsets()["p1"] == 0
+            assert source.end_offsets()["p2"] == 0
+
+            ref_estimates, ref_total, _ = await _reference_answers(source)
+            estimates, total, summary = await _killed_then_restored_answers(
+                source, tmp_path / "driver.ckpt", kill_after_applies=4
+            )
+            assert estimates == ref_estimates
+            assert total == ref_total
+            assert summary["offsets"]["p1"] == 0
+            assert summary["offsets"]["p2"] == 0
+
+        run(scenario())
+
+    def test_rewound_partition_refused_with_typed_error(self, tmp_path):
+        """A log truncated below a checkpointed offset must not silently
+        replay from a fabricated position."""
+
+        async def scenario():
+            source = LogSource.from_rows(workload(300), num_partitions=2, seed=6)
+            path = tmp_path / "driver.ckpt"
+
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                await _create_session(client)
+                driver = PipelineDriver(
+                    source,
+                    client,
+                    session="pipe",
+                    batch_rows=BATCH_ROWS,
+                    checkpoint_path=path,
+                )
+                await driver.run(max_ticks=2, final_checkpoint=True)
+                recorded = dict(driver.offsets)
+
+            # The partition loses its tail below the recorded offset.
+            source.truncate("p0", recorded["p0"] - 1)
+
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                restored = await PipelineDriver.restore(
+                    path, source, client, batch_rows=BATCH_ROWS
+                )
+                with pytest.raises(StaleOffsetError):
+                    await restored.run(final_checkpoint=False)
+                # The stale offset was refused, not rewritten.
+                assert restored.offsets["p0"] == recorded["p0"]
+
+        run(scenario())
+
+    def test_dropped_batch_fails_loudly_without_committing(self):
+        """The serving layer isolates poison batches; the driver must turn
+        that silent drop into a loud error and keep the offset."""
+
+        async def scenario():
+            source = LogSource.from_rows(workload(100), num_partitions=1)
+            async with SketchServer() as server:
+                client = ServeClient(server)
+                await _create_session(client)  # plain session: no window
+                driver = PipelineDriver(
+                    source,
+                    client,
+                    session="pipe",
+                    batch_rows=BATCH_ROWS,
+                    # Force timestamped batches at a session that rejects
+                    # them — the serving queue drops them as poison.
+                    with_timestamps=True,
+                )
+                with pytest.raises(ConnectorError, match="exactly-once"):
+                    await driver.tick()
+                assert driver.offsets["p0"] == 0  # nothing committed
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Other sources through the same driver
+# ----------------------------------------------------------------------
+class TestOtherSources:
+    def test_file_tail_resume_is_bit_identical(self, tmp_path):
+        async def scenario():
+            source = FileTailSource(tmp_path / "events.jsonl", partition="events")
+            source.write_rows(workload(300))
+            ref_estimates, ref_total, _ = await _reference_answers(source)
+            estimates, total, _ = await _killed_then_restored_answers(
+                source, tmp_path / "driver.ckpt", kill_after_applies=2
+            )
+            assert estimates == ref_estimates
+            assert total == ref_total
+
+        run(scenario())
+
+    def test_firehose_resume_is_bit_identical(self, tmp_path):
+        """Kill/restore with the source across a socket: the consumer's
+        recorded offsets are all that's needed to resume."""
+
+        async def scenario():
+            backing = LogSource.from_rows(workload(300), num_partitions=2, seed=8)
+            with FirehoseServer(backing) as firehose:
+                source = SocketFirehoseSource(*firehose.address)
+                ref_estimates, ref_total, _ = await _reference_answers(source)
+                estimates, total, _ = await _killed_then_restored_answers(
+                    source, tmp_path / "driver.ckpt", kill_after_applies=3
+                )
+                assert estimates == ref_estimates
+                assert total == ref_total
+
+        run(scenario())
